@@ -1,0 +1,76 @@
+"""Section 5.1.2: inconsistency classes between Reference Switch and Open vSwitch.
+
+Checks that the crosscheck rediscovers each class of inconsistency the paper
+describes, and that a generated concrete test case replays to a real
+divergence (SOFT's no-false-positive property).
+"""
+
+from benchmarks.conftest import cached_crosscheck, print_table
+from repro.core.testcase import build_testcase, replay_testcase
+
+TESTS = ("packet_out", "flow_mod", "stats_request", "short_symb", "cs_flow_mods")
+
+
+def _run_all():
+    return {test: cached_crosscheck(test, "reference", "ovs") for test in TESTS}
+
+
+def _traces_of(report):
+    pairs = []
+    for inconsistency in report.inconsistencies:
+        pairs.append((inconsistency.trace_a.items, inconsistency.trace_b.items))
+    return pairs
+
+
+def _has_kind(trace_items, kind):
+    return any(item[0] == kind for item in trace_items)
+
+
+def _has_error(trace_items):
+    return any(item[0] == "ctrl_msg" and item[2][0] == "ERROR" for item in trace_items)
+
+
+def test_sec512_reference_vs_open_vswitch(run_once):
+    crosschecks = run_once(_run_all)
+
+    rows = [(test, report.queries, report.inconsistency_count,
+             "%.1fs" % report.checking_time)
+            for test, report in crosschecks.items()]
+    print_table("Section 5.1.2: Reference Switch vs Open vSwitch",
+                ("Test", "Solver queries", "Inconsistencies", "Checking time"), rows)
+
+    packet_out = crosschecks["packet_out"]
+    flow_mod = crosschecks["flow_mod"]
+    stats = crosschecks["stats_request"]
+
+    # Every reported class from the paper appears:
+    pairs = _traces_of(packet_out)
+    # 1. "OpenFlow agent terminates with an error": the reference switch
+    #    crashes on inputs Open vSwitch handles cleanly.
+    assert any(_has_kind(a, "crash") and not _has_kind(b, "crash") for a, b in pairs)
+    # 2. "Packet dropped when action is invalid" / "lack of error messages":
+    #    one agent answers or forwards while the other stays silent.
+    assert any((len(a) == 0) != (len(b) == 0) for a, b in pairs)
+    # 3. "Different order of message validation" / invalid ports: an error from
+    #    one agent pairs with a non-error behaviour of the other.
+    assert any(_has_error(a) != _has_error(b) for a, b in pairs)
+
+    # Flow Mod family: divergent behaviours also found (invalid ports, buffers,
+    # emergency flows, in_port == out_port).
+    assert flow_mod.inconsistency_count >= 3
+
+    # "Statistics requests silently ignored": reference is silent, OVS errors.
+    stats_pairs = _traces_of(stats)
+    assert any(len(a) == 0 and _has_error(b) for a, b in stats_pairs)
+
+    # No false positives: a sampled test case per test replays to a divergence.
+    replayed = 0
+    for test, report in crosschecks.items():
+        if not report.inconsistencies:
+            continue
+        inconsistency = report.inconsistencies[0]
+        testcase = build_testcase(test, inconsistency.example, inconsistency)
+        outcome = replay_testcase(testcase, "reference", "ovs")
+        assert outcome.diverged, "replay of %s test case did not diverge" % test
+        replayed += 1
+    assert replayed >= 4

@@ -1,0 +1,52 @@
+"""Table 1: the catalogue of tests used in the evaluation.
+
+Regenerates the catalogue (name, message count, description), checks that each
+specification builds its inputs, and times the (cheap) construction.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.tests_catalog import TABLE1_TESTS, catalog
+from repro.symbex.state import PathState
+from repro.harness.inputs import ControlMessageInput, ProbeInput
+
+
+def _build_all_specs():
+    specs = catalog()
+    built = {}
+    for key, spec in specs.items():
+        state = PathState(path_id=0)
+        shapes = []
+        for test_input in spec.inputs:
+            if isinstance(test_input, ControlMessageInput):
+                shapes.append(("control", len(test_input.build(state))))
+            elif isinstance(test_input, ProbeInput):
+                port, frame = test_input.build(state)
+                shapes.append(("probe", len(frame)))
+        built[key] = shapes
+    return specs, built
+
+
+def test_table1_catalog(run_once):
+    specs, built = run_once(_build_all_specs)
+
+    rows = []
+    for key in TABLE1_TESTS:
+        spec = specs[key]
+        rows.append((spec.title, spec.message_count, len(spec.inputs), spec.description))
+    print_table("Table 1: tests used in the evaluation",
+                ("Test", "Messages", "Inputs", "Description"), rows)
+
+    assert set(specs) == set(TABLE1_TESTS)
+    # Paper message counts: Packet Out/Stats Request/Short Symb = 1, the Flow
+    # Mod family and Set Config = 2, Concrete = 4.
+    assert specs["packet_out"].message_count == 1
+    assert specs["stats_request"].message_count == 1
+    assert specs["short_symb"].message_count == 1
+    assert specs["set_config"].message_count == 2
+    assert specs["flow_mod"].message_count == 2
+    assert specs["eth_flow_mod"].message_count == 2
+    assert specs["cs_flow_mods"].message_count == 2
+    assert specs["concrete"].message_count == 4
+    # Every spec builds wire-format inputs.
+    for key, shapes in built.items():
+        assert all(size >= 8 for _kind, size in shapes)

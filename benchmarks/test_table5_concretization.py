@@ -1,0 +1,55 @@
+"""Table 5: the effect of concretizing inputs on time, paths and coverage.
+
+Compares the fully symbolic Flow Mod test against variants with a concrete
+match, a concrete action, a concrete probe and a symbolic probe.  Shape
+assertions from §5.3: concretizing reduces time and path count by a large
+factor while costing only a few percentage points of coverage, and a symbolic
+probe costs extra time/paths for a small coverage gain.
+"""
+
+from benchmarks.conftest import COVERAGE_MAX_PATHS, cached_exploration, print_table
+from repro.core.variants import TABLE5_VARIANTS, concretization_spec
+
+
+def _run_all():
+    reports = {}
+    for variant in TABLE5_VARIANTS:
+        spec = concretization_spec(variant)
+        reports[variant] = cached_exploration("reference", spec, with_coverage=True,
+                                              max_paths=COVERAGE_MAX_PATHS)
+    return reports
+
+
+def test_table5_effects_of_concretizing(run_once):
+    reports = run_once(_run_all)
+
+    rows = []
+    for variant in TABLE5_VARIANTS:
+        report = reports[variant]
+        rows.append((variant, "%.1fs" % report.cpu_time, report.path_count,
+                     "%.1f%%" % (100 * report.coverage.instruction_coverage)))
+    print_table("Table 5: effects of concretizing on time, paths and coverage",
+                ("Variant", "CPU time", "Paths", "Instruction cov"), rows)
+
+    fully = reports["fully_symbolic"]
+    concrete_match = reports["concrete_match"]
+    concrete_action = reports["concrete_action"]
+    concrete_probe = reports["concrete_probe"]
+    symbolic_probe = reports["symbolic_probe"]
+
+    # Concretizing the match or the actions reduces the number of generated
+    # paths; the coverage drop stays small (paper: 2-5 percentage points).
+    assert concrete_match.path_count <= fully.path_count
+    assert concrete_action.path_count <= fully.path_count
+    assert concrete_action.path_count < fully.path_count or \
+        concrete_match.path_count < fully.path_count
+    for variant in ("concrete_match", "concrete_action"):
+        drop = fully.coverage.instruction_coverage - reports[variant].coverage.instruction_coverage
+        assert drop <= 0.10
+
+    # A symbolic probe explores at least as many paths as a concrete probe and
+    # adds only a small amount of coverage (paper: ~2% for 3.5x the time).
+    assert symbolic_probe.path_count >= concrete_probe.path_count
+    gain = symbolic_probe.coverage.instruction_coverage - concrete_probe.coverage.instruction_coverage
+    assert gain >= -0.01
+    assert gain <= 0.10

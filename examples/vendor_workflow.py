@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Two-phase vendor workflow (paper §2.4).
+
+Phase 1 runs independently per vendor: each vendor symbolically executes its
+own agent and produces an intermediate result (input-space partitions grouped
+by output) *without* sharing source code.  Phase 2 — run by a third party such
+as the ONF, or under an inter-vendor NDA — crosschecks the intermediate
+results and hands each vendor a concrete reproducing test case per
+inconsistency.
+
+    python examples/vendor_workflow.py
+"""
+
+from repro.core.crosscheck import find_inconsistencies
+from repro.core.explorer import explore_agent
+from repro.core.grouping import group_paths
+from repro.core.testcase import build_testcase, replay_testcase
+
+TEST = "stats_request"
+
+
+def vendor_phase(agent_name: str):
+    """What a single vendor runs in-house: explore, then group."""
+
+    print("[vendor:%s] exploring agent with test %r ..." % (agent_name, TEST))
+    exploration = explore_agent(agent_name, TEST)
+    grouped = group_paths(exploration)
+    print("[vendor:%s] %d paths -> %d distinct observable outputs (%.2fs cpu)"
+          % (agent_name, exploration.path_count, grouped.distinct_output_count,
+             exploration.cpu_time))
+    # Only the grouped intermediate result leaves the vendor's premises.
+    return grouped
+
+
+def interop_event(grouped_a, grouped_b) -> None:
+    """What the interoperability event / third party runs."""
+
+    print("[interop] crosschecking %s vs %s ..." % (grouped_a.agent_name, grouped_b.agent_name))
+    report = find_inconsistencies(grouped_a, grouped_b)
+    print("[interop] %d solver queries, %d inconsistencies"
+          % (report.queries, report.inconsistency_count))
+    for index, inconsistency in enumerate(report.inconsistencies, start=1):
+        print("\n--- inconsistency %d ---" % index)
+        print(inconsistency.describe())
+        testcase = build_testcase(TEST, inconsistency.example, inconsistency)
+        replay = replay_testcase(testcase, grouped_a.agent_name, grouped_b.agent_name)
+        print("replay confirms divergence: %s" % replay.diverged)
+
+
+def main() -> None:
+    grouped_reference = vendor_phase("reference")
+    grouped_ovs = vendor_phase("ovs")
+    interop_event(grouped_reference, grouped_ovs)
+
+
+if __name__ == "__main__":
+    main()

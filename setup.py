@@ -1,0 +1,8 @@
+"""Setuptools shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools predates PEP 660 editable wheels (no ``wheel`` package available).
+"""
+from setuptools import setup
+
+setup()

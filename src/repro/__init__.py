@@ -1,0 +1,50 @@
+"""SOFT: Systematic OpenFlow switch interoperability Testing.
+
+A from-scratch Python reproduction of "A SOFT Way for OpenFlow Switch
+Interoperability Testing" (Kuzniar et al., CoNEXT 2012), including every
+substrate the system needs:
+
+* :mod:`repro.symbex` — a symbolic execution engine with a bit-vector
+  constraint solver (the Cloud9 + STP replacement);
+* :mod:`repro.wire`, :mod:`repro.openflow`, :mod:`repro.packetlib` — the
+  OpenFlow 1.0 wire protocol and data-plane packets, symbolic-aware;
+* :mod:`repro.agents` — three OpenFlow agent implementations to crosscheck
+  (Reference Switch, Open vSwitch-style, Modified Switch);
+* :mod:`repro.harness` — the emulated controller / data-plane test driver;
+* :mod:`repro.core` — SOFT itself: per-agent exploration, grouping of path
+  conditions by output, solver-based crosschecking, and concrete test-case
+  generation with replay;
+* :mod:`repro.coverage` — instruction/branch coverage of agent code;
+* :mod:`repro.baselines` — an OFTest-style manual suite and a random fuzzer
+  for comparison.
+
+Quickstart::
+
+    from repro import SOFT
+
+    report = SOFT().run("packet_out", "reference", "ovs")
+    print(report.describe())
+"""
+
+from repro.version import __version__
+from repro.core.soft import SOFT, SoftReport
+from repro.core.explorer import explore_agent
+from repro.core.grouping import group_paths
+from repro.core.crosscheck import find_inconsistencies
+from repro.core.testcase import build_testcase, replay_testcase
+from repro.core.tests_catalog import catalog, get_test
+from repro.agents import make_agent
+
+__all__ = [
+    "__version__",
+    "SOFT",
+    "SoftReport",
+    "explore_agent",
+    "group_paths",
+    "find_inconsistencies",
+    "build_testcase",
+    "replay_testcase",
+    "catalog",
+    "get_test",
+    "make_agent",
+]

@@ -1,0 +1,54 @@
+"""OpenFlow agent implementations under test.
+
+Three agents are provided, mirroring the paper's evaluation targets:
+
+* :class:`repro.agents.reference.ReferenceSwitch` — models the OpenFlow 1.0
+  reference switch, including its documented quirks (missing validation with
+  silent masking, un-propagated error codes, three crash conditions, emergency
+  flow support, no ``OFPP_NORMAL``).
+* :class:`repro.agents.ovs.OpenVSwitchAgent` — models Open vSwitch 1.0.0
+  behaviour (strict action validation with silent message drop, max-port
+  validation, error-but-install on unknown buffers, ``OFPP_NORMAL`` support,
+  no emergency flows).
+* :class:`repro.agents.modified.ModifiedSwitch` — the reference switch with
+  seven injected corner-case modifications used by §5.1.1.
+
+All agents implement the same :class:`repro.agents.common.base.OpenFlowAgent`
+interface, consume (possibly symbolic) byte buffers on their control channel
+and emit message objects / data-plane outputs through an
+:class:`repro.agents.common.context.AgentContext`.
+"""
+
+from repro.agents.common.base import OpenFlowAgent
+from repro.agents.common.context import AgentContext, RecordingContext
+from repro.agents.reference.agent import ReferenceSwitch
+from repro.agents.ovs.agent import OpenVSwitchAgent
+from repro.agents.modified.agent import ModifiedSwitch
+
+AGENT_REGISTRY = {
+    "reference": ReferenceSwitch,
+    "ovs": OpenVSwitchAgent,
+    "modified": ModifiedSwitch,
+}
+
+
+def make_agent(name: str, **kwargs):
+    """Instantiate a registered agent by name (``reference``/``ovs``/``modified``)."""
+
+    try:
+        factory = AGENT_REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(AGENT_REGISTRY)))
+    return factory(**kwargs)
+
+
+__all__ = [
+    "OpenFlowAgent",
+    "AgentContext",
+    "RecordingContext",
+    "ReferenceSwitch",
+    "OpenVSwitchAgent",
+    "ModifiedSwitch",
+    "AGENT_REGISTRY",
+    "make_agent",
+]

@@ -1,0 +1,24 @@
+"""Substrate shared by all agent implementations.
+
+The pieces here play the role that ``lib/`` and ``datapath/`` utilities play
+in the C code bases: port inventory, packet buffer pool, the software flow
+table and the agent/environment interface.  Behavioural differences between
+agents live strictly in the per-agent packages, not here.
+"""
+
+from repro.agents.common.base import AgentConfig, OpenFlowAgent
+from repro.agents.common.context import AgentContext, RecordingContext
+from repro.agents.common.flowtable import FlowEntry, FlowTable
+from repro.agents.common.buffers import PacketBufferPool
+from repro.agents.common.ports import SwitchPortSet
+
+__all__ = [
+    "AgentConfig",
+    "OpenFlowAgent",
+    "AgentContext",
+    "RecordingContext",
+    "FlowEntry",
+    "FlowTable",
+    "PacketBufferPool",
+    "SwitchPortSet",
+]

@@ -1,0 +1,6 @@
+"""The Modified Switch: the reference switch with seven injected differences (§5.1.1)."""
+
+from repro.agents.modified.agent import ModifiedSwitch
+from repro.agents.modified.mutations import MUTATIONS, Mutation
+
+__all__ = ["ModifiedSwitch", "MUTATIONS", "Mutation"]

@@ -1,0 +1,103 @@
+"""Catalogue of the seven injected modifications (§5.1.1).
+
+Two team members who had not built the tool injected seven behavioural
+changes into the reference switch; SOFT found five of them.  The two misses
+are structural, not incidental:
+
+* the **Hello** change is invisible because SOFT completes a correct handshake
+  before it starts testing and never sends another Hello;
+* the **idle-timeout expiry** change is invisible because the symbolic
+  execution engine cannot fire timers.
+
+This module records each mutation with whether the paper's methodology can
+observe it, so the §5.1.1 benchmark can check the 5-out-of-7 result against
+ground truth instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Mutation", "MUTATIONS", "detectable_mutations", "undetectable_mutations"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One injected behavioural change."""
+
+    key: str
+    description: str
+    #: Which Table-1 tests can surface the change.
+    surfaced_by: Tuple[str, ...]
+    #: Whether SOFT's input sequences can observe the change at all.
+    detectable: bool
+    #: Why not, for the two undetectable ones.
+    why_undetectable: str = ""
+
+
+MUTATIONS: Tuple[Mutation, ...] = (
+    Mutation(
+        key="hello_version_check",
+        description="Replies to a post-handshake HELLO with a HELLO_FAILED error "
+                    "instead of ignoring it.",
+        surfaced_by=(),
+        detectable=False,
+        why_undetectable="SOFT establishes a correct connection before testing and "
+                         "never injects another Hello (paper §5.1.1).",
+    ),
+    Mutation(
+        key="idle_timeout_no_flow_removed",
+        description="Does not send FLOW_REMOVED when a flow expires due to its "
+                    "idle timeout.",
+        surfaced_by=(),
+        detectable=False,
+        why_undetectable="The symbolic execution engine cannot trigger timers "
+                         "(paper §5.1.1).",
+    ),
+    Mutation(
+        key="packet_out_port_limit",
+        description="Packet Out output actions to physical ports above 16 are "
+                    "rejected with BAD_OUT_PORT (the reference accepts any port).",
+        surfaced_by=("packet_out", "flow_mod", "eth_flow_mod"),
+        detectable=True,
+    ),
+    Mutation(
+        key="desc_stats_content",
+        description="DESC statistics report a different hardware description string.",
+        surfaced_by=("stats_request",),
+        detectable=True,
+    ),
+    Mutation(
+        key="set_config_clamps_miss_send_len",
+        description="SET_CONFIG clamps miss_send_len to at most 64 bytes, truncating "
+                    "PACKET_IN payloads differently.",
+        surfaced_by=("set_config",),
+        detectable=True,
+    ),
+    Mutation(
+        key="modify_missing_is_error",
+        description="FLOW_MOD MODIFY of a non-existent flow returns an error instead "
+                    "of behaving like ADD.",
+        surfaced_by=("flow_mod", "eth_flow_mod", "cs_flow_mods"),
+        detectable=True,
+    ),
+    Mutation(
+        key="flood_drops",
+        description="Output to OFPP_FLOOD drops the packet instead of flooding it.",
+        surfaced_by=("packet_out", "flow_mod", "eth_flow_mod"),
+        detectable=True,
+    ),
+)
+
+
+def detectable_mutations() -> Tuple[Mutation, ...]:
+    """The injected changes SOFT is expected to find (five of seven)."""
+
+    return tuple(m for m in MUTATIONS if m.detectable)
+
+
+def undetectable_mutations() -> Tuple[Mutation, ...]:
+    """The injected changes SOFT is expected to miss (two of seven)."""
+
+    return tuple(m for m in MUTATIONS if not m.detectable)

@@ -1,0 +1,5 @@
+"""The Open vSwitch 1.0.0-style agent."""
+
+from repro.agents.ovs.agent import OpenVSwitchAgent
+
+__all__ = ["OpenVSwitchAgent"]

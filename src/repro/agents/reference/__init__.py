@@ -1,0 +1,5 @@
+"""The Reference Switch agent (models the OpenFlow 1.0.0 reference userspace switch)."""
+
+from repro.agents.reference.agent import ReferenceSwitch
+
+__all__ = ["ReferenceSwitch"]

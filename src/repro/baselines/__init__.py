@@ -1,0 +1,23 @@
+"""Baseline testing approaches SOFT is compared against.
+
+* :mod:`repro.baselines.oftest` — an OFTest-style suite of manually written,
+  fully concrete test cases (the "local testing" the paper's introduction
+  argues is not exhaustive).
+* :mod:`repro.baselines.fuzzer` — a differential random fuzzer: the same
+  randomly generated concrete messages are fed to two agents and their traces
+  compared.  It finds *some* of the divergences SOFT finds, with no
+  completeness guarantee — a useful contrast for the evaluation discussion.
+"""
+
+from repro.baselines.oftest import OFTestCase, OFTestResult, default_suite, run_suite
+from repro.baselines.fuzzer import DifferentialFuzzer, FuzzDivergence, FuzzReport
+
+__all__ = [
+    "OFTestCase",
+    "OFTestResult",
+    "default_suite",
+    "run_suite",
+    "DifferentialFuzzer",
+    "FuzzDivergence",
+    "FuzzReport",
+]

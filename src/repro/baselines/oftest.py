@@ -1,0 +1,175 @@
+"""An OFTest-style suite of manually written concrete test cases.
+
+Each case fixes a concrete input sequence and checks a hand-written
+expectation about the observable behaviour — exactly how OFTest [2] and the
+default OpenFlow Perl framework operate.  The suite intentionally mirrors the
+"basic functionality" level of those tools: running it against all three
+agents passes (or fails identically), illustrating the paper's point that
+manually composed concrete cases do not surface the corner-case
+inconsistencies SOFT finds automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.agents import make_agent
+from repro.harness.driver import ConcreteRunResult, run_concrete_sequence
+from repro.openflow import constants as c
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierRequest,
+    EchoRequest,
+    FeaturesRequest,
+    FlowMod,
+    GetConfigRequest,
+    PacketOut,
+    SetConfig,
+    StatsRequest,
+)
+from repro.packetlib.builder import build_tcp_packet
+
+__all__ = ["OFTestCase", "OFTestResult", "default_suite", "run_suite"]
+
+InputSequence = List[Tuple[str, object]]
+
+
+@dataclass
+class OFTestCase:
+    """A manually written, fully concrete test case."""
+
+    name: str
+    description: str
+    build_inputs: Callable[[], InputSequence]
+    check: Callable[[ConcreteRunResult], bool]
+
+
+@dataclass
+class OFTestResult:
+    """Outcome of one case against one agent."""
+
+    case_name: str
+    agent_name: str
+    passed: bool
+    trace_summary: str
+
+
+def _exact_tcp_match() -> Match:
+    return Match.exact_tcp(in_port=1, dl_src=0x00163E000001, dl_dst=0x00163E000002,
+                           nw_src=0x0A000001, nw_dst=0x0A000002, tp_src=1234, tp_dst=80)
+
+
+def _case_echo() -> InputSequence:
+    return [("control", EchoRequest(xid=1, data=b"ping").pack())]
+
+
+def _case_features() -> InputSequence:
+    return [("control", FeaturesRequest(xid=2).pack())]
+
+
+def _case_get_config() -> InputSequence:
+    return [("control", GetConfigRequest(xid=3).pack())]
+
+
+def _case_barrier() -> InputSequence:
+    return [("control", BarrierRequest(xid=4).pack())]
+
+
+def _case_set_config_roundtrip() -> InputSequence:
+    return [
+        ("control", SetConfig(xid=5, flags=c.OFPC_FRAG_NORMAL, miss_send_len=96).pack()),
+        ("control", GetConfigRequest(xid=6).pack()),
+    ]
+
+
+def _case_flow_install_and_forward() -> InputSequence:
+    flow_mod = FlowMod(xid=7, match=_exact_tcp_match(), command=c.OFPFC_ADD,
+                       priority=0x8000, buffer_id=c.OFP_NO_BUFFER,
+                       out_port=c.OFPP_NONE, actions=[ActionOutput(port=2, max_len=0)])
+    probe = build_tcp_packet(tp_src=1234, tp_dst=80)
+    return [("control", flow_mod.pack()), ("probe", (1, probe))]
+
+
+def _case_table_miss_packet_in() -> InputSequence:
+    probe = build_tcp_packet(tp_src=4321, tp_dst=443)
+    return [("probe", (1, probe))]
+
+
+def _case_packet_out_forward() -> InputSequence:
+    message = PacketOut(xid=8, buffer_id=c.OFP_NO_BUFFER, in_port=c.OFPP_NONE,
+                        actions=[ActionOutput(port=3, max_len=0)],
+                        data=build_tcp_packet().to_bytes())
+    return [("control", message.pack())]
+
+
+def _case_desc_stats() -> InputSequence:
+    return [("control", StatsRequest(xid=9, stats_type=c.OFPST_DESC).pack())]
+
+
+def _case_flow_delete() -> InputSequence:
+    add = FlowMod(xid=10, match=_exact_tcp_match(), command=c.OFPFC_ADD, priority=0x8000,
+                  buffer_id=c.OFP_NO_BUFFER, out_port=c.OFPP_NONE,
+                  actions=[ActionOutput(port=2, max_len=0)])
+    delete = FlowMod(xid=11, match=_exact_tcp_match(), command=c.OFPFC_DELETE, priority=0x8000,
+                     buffer_id=c.OFP_NO_BUFFER, out_port=c.OFPP_NONE, actions=[])
+    probe = build_tcp_packet(tp_src=1234, tp_dst=80)
+    return [("control", add.pack()), ("control", delete.pack()), ("probe", (1, probe))]
+
+
+def _has_message(result: ConcreteRunResult, kind: str) -> bool:
+    return any(item[0] == "ctrl_msg" and item[2][0] == kind for item in result.trace.items)
+
+
+def _has_dataplane_output(result: ConcreteRunResult, port: int = None) -> bool:
+    for item in result.trace.items:
+        if item[0] != "dp_out":
+            continue
+        if port is None or item[2] == str(port):
+            return True
+    return False
+
+
+def default_suite() -> List[OFTestCase]:
+    """The manually composed baseline suite (basic functionality only)."""
+
+    return [
+        OFTestCase("echo_reply", "Echo requests are answered with an echo reply.",
+                   _case_echo, lambda r: _has_message(r, "ECHO_REPLY")),
+        OFTestCase("features_reply", "Features requests are answered.",
+                   _case_features, lambda r: _has_message(r, "FEATURES_REPLY")),
+        OFTestCase("get_config_reply", "Get-config requests are answered.",
+                   _case_get_config, lambda r: _has_message(r, "GET_CONFIG_REPLY")),
+        OFTestCase("barrier_reply", "Barrier requests are answered.",
+                   _case_barrier, lambda r: _has_message(r, "BARRIER_REPLY")),
+        OFTestCase("set_config_roundtrip", "SET_CONFIG is reflected by GET_CONFIG.",
+                   _case_set_config_roundtrip, lambda r: _has_message(r, "GET_CONFIG_REPLY")),
+        OFTestCase("flow_install_and_forward", "An installed exact-match flow forwards a probe.",
+                   _case_flow_install_and_forward, lambda r: _has_dataplane_output(r, 2)),
+        OFTestCase("table_miss_packet_in", "A table miss produces a PACKET_IN.",
+                   _case_table_miss_packet_in, lambda r: _has_message(r, "PACKET_IN")),
+        OFTestCase("packet_out_forward", "A PACKET_OUT with an output action emits the packet.",
+                   _case_packet_out_forward, lambda r: _has_dataplane_output(r, 3)),
+        OFTestCase("desc_stats", "DESC statistics are answered.",
+                   _case_desc_stats, lambda r: _has_message(r, "STATS_REPLY")),
+        OFTestCase("flow_delete", "Deleting a flow restores table-miss behaviour.",
+                   _case_flow_delete, lambda r: _has_message(r, "PACKET_IN")),
+    ]
+
+
+def run_suite(agent_name: str, cases: Sequence[OFTestCase] = None) -> List[OFTestResult]:
+    """Run the (given or default) suite against one agent."""
+
+    cases = list(cases) if cases is not None else default_suite()
+    results: List[OFTestResult] = []
+    for case in cases:
+        agent = make_agent(agent_name)
+        run = run_concrete_sequence(agent, case.build_inputs())
+        results.append(OFTestResult(
+            case_name=case.name,
+            agent_name=agent_name,
+            passed=bool(case.check(run)),
+            trace_summary=run.trace.short(limit=4),
+        ))
+    return results

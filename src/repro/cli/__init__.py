@@ -1,0 +1,5 @@
+"""Command line interface (the ``soft`` entry point)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

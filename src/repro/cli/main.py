@@ -1,0 +1,148 @@
+"""The ``soft`` command line tool.
+
+Mirrors the three tools of the paper's prototype (§4) plus convenience
+commands::
+
+    soft list-tests                 # the Table-1 catalogue
+    soft list-agents                # registered agents under test
+    soft explore --agent reference --test packet_out
+    soft run --test packet_out --agent-a reference --agent-b ovs
+    soft oftest --agent ovs         # the manual baseline suite
+    soft fuzz --agent-a reference --agent-b ovs --iterations 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.agents import AGENT_REGISTRY
+from repro.baselines.fuzzer import DifferentialFuzzer
+from repro.baselines.oftest import run_suite
+from repro.core.explorer import explore_agent
+from repro.core.grouping import group_paths
+from repro.core.soft import SOFT
+from repro.core.tests_catalog import TABLE1_TESTS, catalog, get_test
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soft",
+        description="SOFT: systematic OpenFlow switch interoperability testing "
+                    "(CoNEXT 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-tests", help="list the Table-1 test specifications")
+    subparsers.add_parser("list-agents", help="list the registered agents under test")
+
+    explore = subparsers.add_parser("explore", help="Phase 1: symbolically execute one agent")
+    explore.add_argument("--agent", required=True, choices=sorted(AGENT_REGISTRY))
+    explore.add_argument("--test", required=True, choices=TABLE1_TESTS)
+    explore.add_argument("--coverage", action="store_true",
+                         help="also report instruction/branch coverage")
+
+    run = subparsers.add_parser("run", help="full pipeline: explore, group, crosscheck, replay")
+    run.add_argument("--test", required=True, choices=TABLE1_TESTS)
+    run.add_argument("--agent-a", default="reference", choices=sorted(AGENT_REGISTRY))
+    run.add_argument("--agent-b", default="ovs", choices=sorted(AGENT_REGISTRY))
+    run.add_argument("--no-replay", action="store_true",
+                     help="skip concrete replay of generated test cases")
+
+    oftest = subparsers.add_parser("oftest", help="run the OFTest-style manual baseline suite")
+    oftest.add_argument("--agent", required=True, choices=sorted(AGENT_REGISTRY))
+
+    fuzz = subparsers.add_parser("fuzz", help="differential random fuzzing baseline")
+    fuzz.add_argument("--agent-a", default="reference", choices=sorted(AGENT_REGISTRY))
+    fuzz.add_argument("--agent-b", default="ovs", choices=sorted(AGENT_REGISTRY))
+    fuzz.add_argument("--iterations", type=int, default=100)
+    fuzz.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list_tests() -> int:
+    for key, spec in catalog().items():
+        print("%-14s %-12s %s" % (key, "(%d msgs)" % spec.message_count, spec.description))
+    return 0
+
+
+def _cmd_list_agents() -> int:
+    for name, factory in sorted(AGENT_REGISTRY.items()):
+        print("%-12s %s" % (name, (factory.__doc__ or "").strip().splitlines()[0]))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    report = explore_agent(args.agent, args.test, with_coverage=args.coverage)
+    grouped = group_paths(report)
+    print("agent=%s test=%s" % (report.agent_name, report.test_key))
+    print("  paths explored:        %d" % report.path_count)
+    print("  distinct outputs:      %d" % grouped.distinct_output_count)
+    print("  cpu time:              %.2fs" % report.cpu_time)
+    print("  avg constraint size:   %.1f" % report.average_constraint_size())
+    print("  max constraint size:   %d" % report.max_constraint_size())
+    if report.coverage is not None:
+        print("  instruction coverage:  %.1f%%" % (100 * report.coverage.instruction_coverage))
+        print("  branch coverage:       %.1f%%" % (100 * report.coverage.branch_coverage))
+    for group in grouped.groups:
+        print("  output group: %s" % group.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    soft = SOFT(replay_testcases=not args.no_replay)
+    report = soft.run(args.test, args.agent_a, args.agent_b)
+    print(report.describe())
+    return 0
+
+
+def _cmd_oftest(args: argparse.Namespace) -> int:
+    results = run_suite(args.agent)
+    failures = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        failures += 0 if result.passed else 1
+        print("%-4s %-28s %s" % (status, result.case_name, result.trace_summary))
+    print("%d/%d cases passed" % (len(results) - failures, len(results)))
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    fuzzer = DifferentialFuzzer(args.agent_a, args.agent_b, seed=args.seed)
+    report = fuzzer.run(iterations=args.iterations)
+    print("%d iterations, %d divergences (%.1f%%)" % (
+        report.iterations, report.divergence_count, 100 * report.divergence_rate))
+    for divergence in report.divergences[:20]:
+        print("  #%d %s" % (divergence.iteration, divergence.description))
+        print("    %s: %s" % (report.agent_a, divergence.trace_a))
+        print("    %s: %s" % (report.agent_b, divergence.trace_b))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-tests":
+        return _cmd_list_tests()
+    if args.command == "list-agents":
+        return _cmd_list_agents()
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "oftest":
+        return _cmd_oftest(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    parser.error("unknown command %r" % (args.command,))
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Phase 2b: the inconsistency finder.
+
+For two agents A and B, and for every pair of *different* grouped outputs
+``(i, j)``, the constraint solver is asked whether ``C_A(i) AND C_B(j)`` is
+satisfiable.  A model is a concrete input on which the two agents diverge —
+an inconsistency — and is reported together with both output traces so a
+human can judge which (if either) implementation violates the specification.
+
+The number of solver queries is bounded by ``|RES_A| * |RES_B|`` (§3.4); the
+grouping stage has already collapsed thousands of paths into tens of outputs,
+which is what makes this stage cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.grouping import GroupedResults, OutputGroup
+from repro.core.trace import OutputTrace
+from repro.errors import CrosscheckError
+from repro.symbex.expr import BoolExpr, bool_and
+from repro.symbex.solver import Solver, SolverConfig
+
+__all__ = ["Inconsistency", "CrosscheckReport", "find_inconsistencies"]
+
+
+@dataclass
+class Inconsistency:
+    """A pair of divergent behaviours reachable by a common input."""
+
+    agent_a: str
+    agent_b: str
+    trace_a: OutputTrace
+    trace_b: OutputTrace
+    #: The conjunction that the solver satisfied.
+    condition: BoolExpr
+    #: A concrete example input assignment (variable name -> value).
+    example: Dict[str, int] = field(default_factory=dict)
+    solver_time: float = 0.0
+
+    def describe(self) -> str:
+        lines = [
+            "inconsistency between %s and %s" % (self.agent_a, self.agent_b),
+            "  %s output:" % self.agent_a,
+            "  " + self.trace_a.short(limit=5),
+            "  %s output:" % self.agent_b,
+            "  " + self.trace_b.short(limit=5),
+            "  example input: %s" % _render_example(self.example),
+        ]
+        return "\n".join(lines)
+
+
+def _render_example(example: Dict[str, int]) -> str:
+    parts = ["%s=0x%x" % (name, value) for name, value in sorted(example.items())]
+    return "{" + ", ".join(parts) + "}"
+
+
+@dataclass
+class CrosscheckReport:
+    """Result of crosschecking two grouped intermediate results."""
+
+    agent_a: str
+    agent_b: str
+    test_key: str
+    inconsistencies: List[Inconsistency]
+    queries: int
+    unsat_pairs: int
+    unknown_pairs: int
+    checking_time: float
+    identical_output_pairs: int
+
+    @property
+    def inconsistency_count(self) -> int:
+        return len(self.inconsistencies)
+
+    def distinct_trace_pairs(self) -> List[Tuple[OutputTrace, OutputTrace]]:
+        return [(i.trace_a, i.trace_b) for i in self.inconsistencies]
+
+    def summary_row(self) -> Dict[str, object]:
+        """One row of the paper's Table 3 (inconsistency-checking part)."""
+
+        return {
+            "test": self.test_key,
+            "agent_a": self.agent_a,
+            "agent_b": self.agent_b,
+            "queries": self.queries,
+            "inconsistencies": self.inconsistency_count,
+            "checking_time": self.checking_time,
+        }
+
+
+def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
+                         solver: Optional[Solver] = None,
+                         max_pairs: Optional[int] = None) -> CrosscheckReport:
+    """Crosscheck two agents' grouped results for one test specification."""
+
+    if grouped_a.test_key != grouped_b.test_key:
+        raise CrosscheckError(
+            "cannot crosscheck different tests: %r vs %r"
+            % (grouped_a.test_key, grouped_b.test_key)
+        )
+    solver = solver if solver is not None else Solver(SolverConfig())
+
+    started = time.perf_counter()
+    inconsistencies: List[Inconsistency] = []
+    queries = 0
+    unsat_pairs = 0
+    unknown_pairs = 0
+    identical = 0
+
+    for group_a in grouped_a.groups:
+        for group_b in grouped_b.groups:
+            if group_a.trace == group_b.trace:
+                identical += 1
+                continue
+            if max_pairs is not None and queries >= max_pairs:
+                break
+            queries += 1
+            query_started = time.perf_counter()
+            result = solver.check([group_a.condition, group_b.condition])
+            elapsed = time.perf_counter() - query_started
+            if result.is_sat:
+                inconsistencies.append(Inconsistency(
+                    agent_a=grouped_a.agent_name,
+                    agent_b=grouped_b.agent_name,
+                    trace_a=group_a.trace,
+                    trace_b=group_b.trace,
+                    condition=bool_and(group_a.condition, group_b.condition),
+                    example=dict(result.model),
+                    solver_time=elapsed,
+                ))
+            elif result.is_unsat:
+                unsat_pairs += 1
+            else:
+                unknown_pairs += 1
+
+    return CrosscheckReport(
+        agent_a=grouped_a.agent_name,
+        agent_b=grouped_b.agent_name,
+        test_key=grouped_a.test_key,
+        inconsistencies=inconsistencies,
+        queries=queries,
+        unsat_pairs=unsat_pairs,
+        unknown_pairs=unknown_pairs,
+        checking_time=time.perf_counter() - started,
+        identical_output_pairs=identical,
+    )

@@ -1,0 +1,164 @@
+"""Phase 1: symbolically execute one agent with one test specification.
+
+``explore_agent`` wires together the test harness, the exploration engine and
+(optionally) the coverage tracker, and produces an
+:class:`AgentExplorationReport` — the per-agent intermediate result that a
+vendor would hand to the crosschecking party in the paper's usage model
+(§2.4): path conditions plus normalized output traces, but no source code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.agents import make_agent
+from repro.agents.common.base import OpenFlowAgent
+from repro.core.tests_catalog import TestSpec, get_test
+from repro.core.trace import OutputTrace, normalize_events
+from repro.coverage.tracker import CoverageReport, CoverageTracker
+from repro.harness.driver import TestDriver
+from repro.symbex.engine import Engine, EngineConfig, ExplorationResult, PathRecord
+from repro.symbex.expr import BoolExpr
+from repro.symbex.solver import Solver, SolverConfig
+
+__all__ = ["PathOutcome", "AgentExplorationReport", "explore_agent"]
+
+AgentSpec = Union[str, Callable[[], OpenFlowAgent]]
+
+
+@dataclass
+class PathOutcome:
+    """One explored path: its input constraints and its observable result."""
+
+    path_id: int
+    constraints: List[BoolExpr]
+    trace: OutputTrace
+    constraint_size: int
+    decisions: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class AgentExplorationReport:
+    """Everything Phase 2 needs to know about one (agent, test) exploration."""
+
+    agent_name: str
+    test_key: str
+    outcomes: List[PathOutcome]
+    cpu_time: float
+    path_count: int
+    message_count: int
+    solver_stats: Dict[str, float] = field(default_factory=dict)
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    coverage: Optional[CoverageReport] = None
+    truncated: bool = False
+
+    def average_constraint_size(self) -> float:
+        sizes = [o.constraint_size for o in self.outcomes]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def max_constraint_size(self) -> int:
+        sizes = [o.constraint_size for o in self.outcomes]
+        return max(sizes) if sizes else 0
+
+    def distinct_traces(self) -> List[OutputTrace]:
+        seen: Dict[OutputTrace, None] = {}
+        for outcome in self.outcomes:
+            seen.setdefault(outcome.trace, None)
+        return list(seen.keys())
+
+    def summary_row(self) -> Dict[str, object]:
+        """One row of the paper's Table 2 for this (agent, test) pair."""
+
+        return {
+            "agent": self.agent_name,
+            "test": self.test_key,
+            "message_count": self.message_count,
+            "cpu_time": self.cpu_time,
+            "path_count": self.path_count,
+            "avg_constraint_size": self.average_constraint_size(),
+            "max_constraint_size": self.max_constraint_size(),
+        }
+
+
+def _resolve_agent_factory(agent: AgentSpec) -> (str, Callable[[], OpenFlowAgent]):
+    if isinstance(agent, str):
+        name = agent
+        return name, lambda: make_agent(name)
+    if callable(agent):
+        probe = agent()
+        return probe.NAME, agent
+    raise TypeError("agent must be a registered name or a zero-argument factory")
+
+
+def explore_agent(agent: AgentSpec,
+                  test: Union[str, TestSpec],
+                  engine_config: Optional[EngineConfig] = None,
+                  solver_config: Optional[SolverConfig] = None,
+                  with_coverage: bool = False,
+                  coverage_packages: Optional[Sequence[str]] = None) -> AgentExplorationReport:
+    """Run Phase 1 for one agent and one test specification."""
+
+    agent_name, factory = _resolve_agent_factory(agent)
+    spec = get_test(test) if isinstance(test, str) else test
+
+    tracker: Optional[CoverageTracker] = None
+    if with_coverage:
+        packages = list(coverage_packages) if coverage_packages else [
+            "repro.agents.common", "repro.agents.%s" % agent_name,
+        ]
+        tracker = CoverageTracker(packages=packages)
+
+    driver = TestDriver(agent_factory=factory, inputs=spec.inputs, coverage_tracker=tracker)
+    engine = Engine(solver=Solver(solver_config or SolverConfig()),
+                    config=engine_config or EngineConfig())
+
+    started = time.process_time()
+    wall_started = time.perf_counter()
+    result: ExplorationResult = engine.explore(driver.program)
+    cpu_time = time.process_time() - started
+    wall_time = time.perf_counter() - wall_started
+
+    outcomes = [_outcome_from_record(record) for record in result.paths]
+    engine_stats = {
+        "paths": result.stats.paths,
+        "failed_paths": result.stats.failed_paths,
+        "decisions": result.stats.decisions,
+        "forks": result.stats.forks,
+        "forced_decisions": result.stats.forced_decisions,
+        "wall_time": wall_time,
+    }
+
+    report = AgentExplorationReport(
+        agent_name=agent_name,
+        test_key=spec.key,
+        outcomes=outcomes,
+        cpu_time=cpu_time,
+        path_count=len(outcomes),
+        message_count=spec.message_count,
+        solver_stats=result.solver_stats,
+        engine_stats=engine_stats,
+        coverage=tracker.report() if tracker is not None else None,
+        truncated=result.stats.truncated,
+    )
+    return report
+
+
+def _outcome_from_record(record: PathRecord) -> PathOutcome:
+    trace = OutputTrace(items=normalize_events(record.events))
+    return PathOutcome(
+        path_id=record.path_id,
+        constraints=record.condition.constraints(),
+        trace=trace,
+        constraint_size=record.constraint_size(),
+        decisions=len(record.decisions),
+        symbols=dict(record.symbols),
+        error=record.error,
+    )

@@ -1,0 +1,159 @@
+"""The end-to-end SOFT pipeline.
+
+:class:`SOFT` wires Phase 1 (per-agent symbolic exploration), Phase 2a
+(grouping by output) and Phase 2b (crosschecking with the constraint solver)
+behind one object, and optionally materializes and replays a concrete test
+case per inconsistency.  This is the API the examples and the CLI use; the
+individual stages remain available for users who want the paper's
+"vendors run Phase 1 independently" workflow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.crosscheck import CrosscheckReport, Inconsistency, find_inconsistencies
+from repro.core.explorer import AgentExplorationReport, explore_agent
+from repro.core.grouping import GroupedResults, group_paths
+from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase, replay_testcase
+from repro.core.tests_catalog import TestSpec, get_test
+from repro.symbex.engine import EngineConfig
+from repro.symbex.solver import Solver, SolverConfig
+
+__all__ = ["SOFT", "SoftReport"]
+
+
+@dataclass
+class SoftReport:
+    """Complete result of one SOFT run over one test and two agents."""
+
+    test_key: str
+    agent_a: str
+    agent_b: str
+    exploration_a: AgentExplorationReport
+    exploration_b: AgentExplorationReport
+    grouped_a: GroupedResults
+    grouped_b: GroupedResults
+    crosscheck: CrosscheckReport
+    testcases: List[ConcreteTestCase] = field(default_factory=list)
+    replays: List[ReplayOutcome] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def inconsistencies(self) -> List[Inconsistency]:
+        return self.crosscheck.inconsistencies
+
+    @property
+    def inconsistency_count(self) -> int:
+        return self.crosscheck.inconsistency_count
+
+    def verified_inconsistency_count(self) -> int:
+        """Inconsistencies whose concrete replay reproduced the divergence."""
+
+        return sum(1 for replay in self.replays if replay.diverged)
+
+    def describe(self) -> str:
+        lines = [
+            "SOFT report: test=%s agents=%s vs %s" % (self.test_key, self.agent_a, self.agent_b),
+            "  %s: %d paths, %d distinct outputs" % (
+                self.agent_a, self.exploration_a.path_count, self.grouped_a.distinct_output_count),
+            "  %s: %d paths, %d distinct outputs" % (
+                self.agent_b, self.exploration_b.path_count, self.grouped_b.distinct_output_count),
+            "  solver queries: %d, inconsistencies: %d (%d replay-verified)" % (
+                self.crosscheck.queries, self.inconsistency_count,
+                self.verified_inconsistency_count()),
+            "  total time: %.2fs" % self.total_time,
+        ]
+        for index, inconsistency in enumerate(self.inconsistencies):
+            lines.append("  --- inconsistency %d ---" % (index + 1))
+            lines.append("  " + inconsistency.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+class SOFT:
+    """Systematic OpenFlow Testing: the paper's tool, end to end."""
+
+    def __init__(self, engine_config: Optional[EngineConfig] = None,
+                 solver_config: Optional[SolverConfig] = None,
+                 with_coverage: bool = False,
+                 build_testcases: bool = True,
+                 replay_testcases: bool = True) -> None:
+        self.engine_config = engine_config
+        self.solver_config = solver_config
+        self.with_coverage = with_coverage
+        self.build_testcases = build_testcases
+        self.replay_testcases = replay_testcases
+
+    # ------------------------------------------------------------------
+    # Individual phases
+    # ------------------------------------------------------------------
+
+    def explore(self, agent: str, test: Union[str, TestSpec]) -> AgentExplorationReport:
+        """Phase 1 for one agent (what a vendor runs in-house)."""
+
+        return explore_agent(agent, test, engine_config=self.engine_config,
+                             solver_config=self.solver_config,
+                             with_coverage=self.with_coverage)
+
+    def group(self, report: AgentExplorationReport) -> GroupedResults:
+        """Phase 2a: group one agent's paths by output."""
+
+        return group_paths(report)
+
+    def crosscheck(self, grouped_a: GroupedResults,
+                   grouped_b: GroupedResults) -> CrosscheckReport:
+        """Phase 2b: find inconsistencies between two grouped results."""
+
+        return find_inconsistencies(grouped_a, grouped_b,
+                                    solver=Solver(self.solver_config or SolverConfig()))
+
+    # ------------------------------------------------------------------
+    # End-to-end convenience
+    # ------------------------------------------------------------------
+
+    def run(self, test: Union[str, TestSpec], agent_a: str, agent_b: str) -> SoftReport:
+        """Run the full pipeline for one test and one pair of agents."""
+
+        started = time.perf_counter()
+        spec = get_test(test) if isinstance(test, str) else test
+
+        exploration_a = self.explore(agent_a, spec)
+        exploration_b = self.explore(agent_b, spec)
+        grouped_a = self.group(exploration_a)
+        grouped_b = self.group(exploration_b)
+        crosscheck = self.crosscheck(grouped_a, grouped_b)
+
+        testcases: List[ConcreteTestCase] = []
+        replays: List[ReplayOutcome] = []
+        if self.build_testcases:
+            for inconsistency in crosscheck.inconsistencies:
+                testcase = build_testcase(spec, inconsistency.example, inconsistency)
+                testcases.append(testcase)
+                if self.replay_testcases:
+                    replays.append(replay_testcase(testcase, agent_a, agent_b))
+
+        return SoftReport(
+            test_key=spec.key,
+            agent_a=agent_a,
+            agent_b=agent_b,
+            exploration_a=exploration_a,
+            exploration_b=exploration_b,
+            grouped_a=grouped_a,
+            grouped_b=grouped_b,
+            crosscheck=crosscheck,
+            testcases=testcases,
+            replays=replays,
+            total_time=time.perf_counter() - started,
+        )
+
+    def run_many(self, tests: Sequence[Union[str, TestSpec]], agent_a: str,
+                 agent_b: str) -> Dict[str, SoftReport]:
+        """Run the full pipeline for several tests against the same agent pair."""
+
+        reports: Dict[str, SoftReport] = {}
+        for test in tests:
+            report = self.run(test, agent_a, agent_b)
+            reports[report.test_key] = report
+        return reports

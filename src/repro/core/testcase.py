@@ -1,0 +1,129 @@
+"""Concrete test cases: turn an inconsistency into a replayable input sequence.
+
+Every inconsistency reported by the crosscheck stage carries a solver model —
+an assignment of the symbolic message fields.  This module materializes that
+model into concrete wire buffers (by evaluating every symbolic byte of the
+test's messages under the model) and replays the sequence against both agents
+concretely.  The replay both reproduces the divergence for a human and acts as
+the "no false positives" guarantee: a test case whose replay does not diverge
+is reported as a pipeline error rather than as an inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.agents import make_agent
+from repro.core.crosscheck import Inconsistency
+from repro.core.tests_catalog import TestSpec, get_test
+from repro.core.trace import OutputTrace
+from repro.errors import ReplayMismatchError
+from repro.harness.driver import ConcreteRunResult, run_concrete_sequence
+from repro.harness.inputs import ControlMessageInput, ProbeInput
+from repro.symbex.expr import BVExpr
+from repro.symbex.simplify import evaluate_bv
+from repro.symbex.state import PathState
+from repro.wire.buffer import SymBuffer
+
+__all__ = ["ConcreteTestCase", "build_testcase", "replay_testcase", "ReplayOutcome"]
+
+
+def _concretize_buffer(buf: SymBuffer, model: Dict[str, int]) -> SymBuffer:
+    """Evaluate every symbolic byte of *buf* under *model* (unbound vars -> 0)."""
+
+    concrete = SymBuffer()
+    for byte in buf:
+        if isinstance(byte, int):
+            concrete.write_u8(byte)
+        else:
+            concrete.write_u8(evaluate_bv(byte, model, default=0) & 0xFF)
+    return concrete
+
+
+@dataclass
+class ConcreteTestCase:
+    """A fully concrete input sequence reproducing one inconsistency."""
+
+    test_key: str
+    assignment: Dict[str, int]
+    inputs: List[Tuple[str, object]]
+    inconsistency: Optional[Inconsistency] = None
+
+    def describe(self) -> str:
+        lines = ["concrete test case for %r" % self.test_key]
+        for name, value in sorted(self.assignment.items()):
+            lines.append("  %s = 0x%x" % (name, value))
+        for index, (kind, payload) in enumerate(self.inputs):
+            if kind == "control":
+                lines.append("  input %d: control message %s" % (index, payload.hex()))
+            else:
+                port, frame = payload
+                lines.append("  input %d: probe on port %s (%d bytes)" % (index, port, len(frame)))
+        return "\n".join(lines)
+
+
+def build_testcase(test: Union[str, TestSpec], assignment: Dict[str, int],
+                   inconsistency: Optional[Inconsistency] = None) -> ConcreteTestCase:
+    """Materialize the test's input sequence under a concrete assignment."""
+
+    spec = get_test(test) if isinstance(test, str) else test
+    state = PathState(path_id=-1)
+    inputs: List[Tuple[str, object]] = []
+    for test_input in spec.inputs:
+        if isinstance(test_input, ControlMessageInput):
+            symbolic_buf = test_input.build(state)
+            inputs.append(("control", _concretize_buffer(symbolic_buf, assignment)))
+        elif isinstance(test_input, ProbeInput):
+            port, frame = test_input.build(state)
+            if isinstance(port, BVExpr):
+                port = evaluate_bv(port, assignment, default=0)
+            inputs.append(("probe", (port, _concretize_buffer(frame, assignment))))
+    return ConcreteTestCase(
+        test_key=spec.key,
+        assignment=dict(assignment),
+        inputs=inputs,
+        inconsistency=inconsistency,
+    )
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a concrete test case against two agents."""
+
+    testcase: ConcreteTestCase
+    run_a: ConcreteRunResult
+    run_b: ConcreteRunResult
+
+    @property
+    def diverged(self) -> bool:
+        return self.run_a.trace != self.run_b.trace
+
+    def describe(self) -> str:
+        return "\n".join([
+            "replay of %s" % self.testcase.test_key,
+            "  %s: %s" % (self.run_a.agent_name, self.run_a.trace.short(limit=5)),
+            "  %s: %s" % (self.run_b.agent_name, self.run_b.trace.short(limit=5)),
+            "  diverged: %s" % self.diverged,
+        ])
+
+
+def replay_testcase(testcase: ConcreteTestCase, agent_a: str, agent_b: str,
+                    require_divergence: bool = False) -> ReplayOutcome:
+    """Replay a concrete test case against two agents and compare their traces.
+
+    The replay is fully concrete (no symbolic execution involved), so it is an
+    independent confirmation that the generated input actually drives the two
+    implementations apart.  When *require_divergence* is set, identical traces
+    raise :class:`ReplayMismatchError`.
+    """
+
+    run_a = run_concrete_sequence(make_agent(agent_a), testcase.inputs)
+    run_b = run_concrete_sequence(make_agent(agent_b), testcase.inputs)
+    outcome = ReplayOutcome(testcase=testcase, run_a=run_a, run_b=run_b)
+    if require_divergence and not outcome.diverged:
+        raise ReplayMismatchError(
+            "replay of the generated test case did not reproduce a divergence "
+            "between %s and %s" % (agent_a, agent_b)
+        )
+    return outcome

@@ -1,0 +1,117 @@
+"""Output traces and normalization (§3.3 of the paper).
+
+A path's *output trace* is the normalized sequence of externally observable
+events the agent produced while processing the input sequence.  Normalization
+removes data for which spurious differences are expected — transaction ids
+picked by the agent, buffer identifiers, padding — so that two agents that
+behave the same produce byte-identical traces and can be grouped/compared
+cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.events import Event
+from repro.openflow import constants as c
+from repro.openflow.messages import (
+    BarrierReply,
+    EchoReply,
+    ErrorMsg,
+    FeaturesReply,
+    FlowRemoved,
+    GetConfigReply,
+    OpenFlowMessage,
+    PacketIn,
+    QueueGetConfigReply,
+    StatsReply,
+)
+from repro.wire.fields import field_repr
+
+__all__ = ["OutputTrace", "normalize_message", "normalize_events"]
+
+
+def normalize_message(message: OpenFlowMessage) -> Tuple:
+    """Normalize one switch-to-controller message into a comparable tuple.
+
+    Transaction ids are dropped (they echo controller-chosen values), buffer
+    ids are reduced to "buffered"/"unbuffered", and payloads are reduced to
+    their length — mirroring the normalization rules of §3.3.
+    """
+
+    if isinstance(message, ErrorMsg):
+        return ("ERROR", field_repr(message.err_type), field_repr(message.code))
+    if isinstance(message, PacketIn):
+        buffered = "unbuffered"
+        if isinstance(message.buffer_id, int) and message.buffer_id != c.OFP_NO_BUFFER:
+            buffered = "buffered"
+        data = message.data
+        data_len = len(data) if not isinstance(data, (bytes, bytearray)) else len(data)
+        return ("PACKET_IN", field_repr(message.in_port), field_repr(message.reason),
+                buffered, data_len)
+    if isinstance(message, EchoReply):
+        return ("ECHO_REPLY", len(message.data))
+    if isinstance(message, FeaturesReply):
+        return ("FEATURES_REPLY", message.n_tables, len(message.ports))
+    if isinstance(message, GetConfigReply):
+        return ("GET_CONFIG_REPLY", field_repr(message.flags), field_repr(message.miss_send_len))
+    if isinstance(message, StatsReply):
+        return ("STATS_REPLY", field_repr(message.stats_type), message.summary)
+    if isinstance(message, BarrierReply):
+        return ("BARRIER_REPLY",)
+    if isinstance(message, QueueGetConfigReply):
+        return ("QUEUE_GET_CONFIG_REPLY", field_repr(message.port), len(message.queues))
+    if isinstance(message, FlowRemoved):
+        return ("FLOW_REMOVED", field_repr(message.reason), field_repr(message.priority))
+    return (message.type_name, message.describe())
+
+
+def normalize_events(events: Iterable[Event]) -> Tuple[Tuple, ...]:
+    """Normalize a whole event list into a hashable trace."""
+
+    return tuple(event.normalized() for event in events)
+
+
+@dataclass(frozen=True)
+class OutputTrace:
+    """A normalized, hashable output trace."""
+
+    items: Tuple[Tuple, ...]
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> "OutputTrace":
+        return cls(items=normalize_events(events))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OutputTrace):
+            return NotImplemented
+        return self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash(self.items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def describe(self) -> str:
+        """Multi-line human readable rendering for reports."""
+
+        if not self.items:
+            return "(no observable output)"
+        return "\n".join("  %d. %s" % (index + 1, " ".join(str(part) for part in item))
+                         for index, item in enumerate(self.items))
+
+    def short(self, limit: int = 3) -> str:
+        """Single-line rendering used in tables and logs."""
+
+        rendered = ["/".join(str(part) for part in item) for item in self.items[:limit]]
+        suffix = " ..." if len(self.items) > limit else ""
+        return "[" + "; ".join(rendered) + suffix + "]" if rendered else "[empty]"

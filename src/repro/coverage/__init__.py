@@ -1,0 +1,12 @@
+"""Coverage measurement over the agent code.
+
+The paper reports instruction and branch coverage of the sections of agent
+code relevant to OpenFlow processing (Figure 4, Tables 4 and 5).  This package
+provides a tracing-based tracker scoped to the agent packages: it records
+executed source lines and line-to-line arcs while agent handlers run, and
+reports them against statically counted executable lines and branch points.
+"""
+
+from repro.coverage.tracker import CoverageReport, CoverageTracker
+
+__all__ = ["CoverageTracker", "CoverageReport"]

@@ -1,0 +1,139 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError` so that
+applications embedding the tooling can catch a single base class.  Errors are
+grouped by subsystem (symbolic execution, protocol, agents, harness, core
+pipeline) which keeps ``except`` clauses precise without forcing callers to
+import deep modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Symbolic execution engine
+# ---------------------------------------------------------------------------
+
+class SymbexError(ReproError):
+    """Base class for symbolic-execution related errors."""
+
+
+class ExpressionError(SymbexError):
+    """An expression was constructed or combined in an invalid way."""
+
+
+class WidthMismatchError(ExpressionError):
+    """Two bit-vector operands of different widths were combined."""
+
+
+class ConcretizationError(SymbexError):
+    """A symbolic value was used where a concrete value is required."""
+
+
+class SolverError(SymbexError):
+    """The constraint solver failed or was mis-used."""
+
+
+class SolverTimeoutError(SolverError):
+    """The constraint solver exceeded its configured budget."""
+
+
+class UnknownResultError(SolverError):
+    """The solver returned an inconclusive answer where a decision is needed."""
+
+
+class EngineError(SymbexError):
+    """The path-exploration engine detected an internal inconsistency."""
+
+
+class NoActiveEngineError(EngineError):
+    """A symbolic boolean was branched on outside of an exploration context."""
+
+
+class PathDivergedError(EngineError):
+    """Replay of a decision schedule took a different branch than recorded.
+
+    This indicates non-determinism in the program under test (e.g. iteration
+    over an unordered container keyed by object identity) and is surfaced
+    loudly because silent divergence would corrupt path conditions.
+    """
+
+
+class PathLimitExceeded(EngineError):
+    """Exploration hit the configured maximum number of paths."""
+
+
+class DecisionLimitExceeded(EngineError):
+    """A single path hit the configured maximum number of symbolic branches."""
+
+
+# ---------------------------------------------------------------------------
+# OpenFlow protocol / packets
+# ---------------------------------------------------------------------------
+
+class ProtocolError(ReproError):
+    """Base class for OpenFlow wire-format errors."""
+
+
+class MessageParseError(ProtocolError):
+    """A byte buffer could not be parsed as the expected OpenFlow message."""
+
+
+class MessageBuildError(ProtocolError):
+    """A message object could not be serialized (missing/invalid fields)."""
+
+
+class PacketError(ReproError):
+    """Base class for data-plane packet construction/parsing errors."""
+
+
+class PacketParseError(PacketError):
+    """A byte buffer could not be parsed as the expected packet header."""
+
+
+# ---------------------------------------------------------------------------
+# Agents under test
+# ---------------------------------------------------------------------------
+
+class AgentError(ReproError):
+    """Base class for errors raised *by* an agent implementation.
+
+    Note: an *uncaught* exception escaping an agent handler is treated by the
+    harness as an agent crash (an observable output), not as a harness error.
+    """
+
+
+class AgentCrash(AgentError):
+    """Deliberate signal that the agent aborted (models a C-level crash)."""
+
+    def __init__(self, reason: str = "agent aborted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Harness / core pipeline
+# ---------------------------------------------------------------------------
+
+class HarnessError(ReproError):
+    """The test harness was driven incorrectly."""
+
+
+class PipelineError(ReproError):
+    """Base class for SOFT-pipeline (explore/group/crosscheck) errors."""
+
+
+class TraceError(PipelineError):
+    """An output trace could not be normalized or compared."""
+
+
+class CrosscheckError(PipelineError):
+    """The inconsistency finder was invoked with incompatible inputs."""
+
+
+class ReplayMismatchError(PipelineError):
+    """Concrete replay of a generated test case did not reproduce the traces."""

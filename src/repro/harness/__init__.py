@@ -1,0 +1,20 @@
+"""Test harness: the emulated controller and network around an agent under test.
+
+The harness plays the role of the paper's "test driver" (§4.1): it connects an
+agent to an emulated controller and data plane, performs the initial Hello
+handshake concretely, injects the (symbolic) control messages and concrete
+probe packets of a test specification one at a time, and records every
+externally observable result as a trace event.
+"""
+
+from repro.harness.driver import ConcreteRunResult, TestDriver, run_concrete_sequence
+from repro.harness.inputs import ControlMessageInput, ProbeInput, TestInput
+
+__all__ = [
+    "TestDriver",
+    "ControlMessageInput",
+    "ProbeInput",
+    "TestInput",
+    "ConcreteRunResult",
+    "run_concrete_sequence",
+]

@@ -1,0 +1,43 @@
+"""Input descriptions used by test specifications.
+
+A test specification (Table 1) is a sequence of inputs.  Each input is either
+an OpenFlow control message — built per path so its symbolic fields are fresh,
+deterministically named variables — or a data-plane probe packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple, Union
+
+from repro.symbex.state import PathState
+from repro.wire.buffer import SymBuffer
+from repro.wire.fields import FieldValue
+
+__all__ = ["ControlMessageInput", "ProbeInput", "TestInput"]
+
+
+@dataclass
+class ControlMessageInput:
+    """A controller-to-switch message injected on the control channel."""
+
+    name: str
+    #: Builds the wire buffer for this message; receives the per-path state so
+    #: it can create named symbolic variables and add well-formedness assumes.
+    build: Callable[[PathState], SymBuffer]
+    #: Whether this message counts as a *symbolic* message (Table 2 reports the
+    #: number of symbolic control messages per test).
+    symbolic: bool = True
+
+
+@dataclass
+class ProbeInput:
+    """A concrete (or partially symbolic) packet injected on the data plane."""
+
+    name: str
+    #: Builds ``(ingress port, frame)`` for this probe.
+    build: Callable[[PathState], Tuple[FieldValue, SymBuffer]]
+    symbolic: bool = False
+
+
+TestInput = Union[ControlMessageInput, ProbeInput]

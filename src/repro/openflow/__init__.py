@@ -1,0 +1,107 @@
+"""OpenFlow 1.0 protocol substrate.
+
+This package implements the OpenFlow Switch Specification 1.0.0 wire protocol
+as used by the agents under test and the SOFT harness:
+
+* :mod:`repro.openflow.constants` — message types, ports, action types, error
+  codes, wildcard bits and other protocol enumerations.
+* :mod:`repro.openflow.match` — the ``ofp_match`` structure with wildcards.
+* :mod:`repro.openflow.actions` — the action list container types.
+* :mod:`repro.openflow.messages` — every OpenFlow 1.0 control message, with
+  symbolic-aware ``pack``/``unpack``.
+* :mod:`repro.openflow.parser` — header parsing and message dispatch from a
+  (possibly symbolic) byte buffer.
+* :mod:`repro.openflow.builder` — construction of the structured symbolic
+  messages used as test inputs (§3.2 of the paper).
+"""
+
+from repro.openflow import constants
+from repro.openflow.match import Match
+from repro.openflow.actions import (
+    Action,
+    ActionEnqueue,
+    ActionOutput,
+    ActionSetDlDst,
+    ActionSetDlSrc,
+    ActionSetNwDst,
+    ActionSetNwSrc,
+    ActionSetNwTos,
+    ActionSetTpDst,
+    ActionSetTpSrc,
+    ActionSetVlanPcp,
+    ActionSetVlanVid,
+    ActionStripVlan,
+    ActionVendor,
+)
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowRemoved,
+    GetConfigReply,
+    GetConfigRequest,
+    Hello,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PhyPort,
+    PortMod,
+    PortStatus,
+    QueueGetConfigReply,
+    QueueGetConfigRequest,
+    SetConfig,
+    StatsReply,
+    StatsRequest,
+    Vendor,
+)
+from repro.openflow.parser import parse_header, parse_message
+
+__all__ = [
+    "constants",
+    "Match",
+    "Action",
+    "ActionOutput",
+    "ActionSetVlanVid",
+    "ActionSetVlanPcp",
+    "ActionStripVlan",
+    "ActionSetDlSrc",
+    "ActionSetDlDst",
+    "ActionSetNwSrc",
+    "ActionSetNwDst",
+    "ActionSetNwTos",
+    "ActionSetTpSrc",
+    "ActionSetTpDst",
+    "ActionEnqueue",
+    "ActionVendor",
+    "OpenFlowMessage",
+    "Hello",
+    "ErrorMsg",
+    "EchoRequest",
+    "EchoReply",
+    "Vendor",
+    "FeaturesRequest",
+    "FeaturesReply",
+    "GetConfigRequest",
+    "GetConfigReply",
+    "SetConfig",
+    "PacketIn",
+    "FlowRemoved",
+    "PortStatus",
+    "PacketOut",
+    "FlowMod",
+    "PortMod",
+    "StatsRequest",
+    "StatsReply",
+    "BarrierRequest",
+    "BarrierReply",
+    "QueueGetConfigRequest",
+    "QueueGetConfigReply",
+    "PhyPort",
+    "parse_header",
+    "parse_message",
+]

@@ -1,0 +1,362 @@
+"""OpenFlow 1.0 protocol constants.
+
+Values follow the OpenFlow Switch Specification version 1.0.0 (wire protocol
+0x01).  Only names actually referenced by the agents, the harness or the tests
+carry semantics here, but the enumerations are kept complete so that symbolic
+exploration of the type-dispatch code sees the same branching structure a real
+agent has.
+"""
+
+from __future__ import annotations
+
+OFP_VERSION = 0x01
+OFP_HEADER_LEN = 8
+OFP_MAX_PORT_NAME_LEN = 16
+OFP_ETH_ALEN = 6
+
+# ---------------------------------------------------------------------------
+# Message types (ofp_type)
+# ---------------------------------------------------------------------------
+
+OFPT_HELLO = 0
+OFPT_ERROR = 1
+OFPT_ECHO_REQUEST = 2
+OFPT_ECHO_REPLY = 3
+OFPT_VENDOR = 4
+OFPT_FEATURES_REQUEST = 5
+OFPT_FEATURES_REPLY = 6
+OFPT_GET_CONFIG_REQUEST = 7
+OFPT_GET_CONFIG_REPLY = 8
+OFPT_SET_CONFIG = 9
+OFPT_PACKET_IN = 10
+OFPT_FLOW_REMOVED = 11
+OFPT_PORT_STATUS = 12
+OFPT_PACKET_OUT = 13
+OFPT_FLOW_MOD = 14
+OFPT_PORT_MOD = 15
+OFPT_STATS_REQUEST = 16
+OFPT_STATS_REPLY = 17
+OFPT_BARRIER_REQUEST = 18
+OFPT_BARRIER_REPLY = 19
+OFPT_QUEUE_GET_CONFIG_REQUEST = 20
+OFPT_QUEUE_GET_CONFIG_REPLY = 21
+
+OFPT_MAX = OFPT_QUEUE_GET_CONFIG_REPLY
+
+MESSAGE_TYPE_NAMES = {
+    OFPT_HELLO: "HELLO",
+    OFPT_ERROR: "ERROR",
+    OFPT_ECHO_REQUEST: "ECHO_REQUEST",
+    OFPT_ECHO_REPLY: "ECHO_REPLY",
+    OFPT_VENDOR: "VENDOR",
+    OFPT_FEATURES_REQUEST: "FEATURES_REQUEST",
+    OFPT_FEATURES_REPLY: "FEATURES_REPLY",
+    OFPT_GET_CONFIG_REQUEST: "GET_CONFIG_REQUEST",
+    OFPT_GET_CONFIG_REPLY: "GET_CONFIG_REPLY",
+    OFPT_SET_CONFIG: "SET_CONFIG",
+    OFPT_PACKET_IN: "PACKET_IN",
+    OFPT_FLOW_REMOVED: "FLOW_REMOVED",
+    OFPT_PORT_STATUS: "PORT_STATUS",
+    OFPT_PACKET_OUT: "PACKET_OUT",
+    OFPT_FLOW_MOD: "FLOW_MOD",
+    OFPT_PORT_MOD: "PORT_MOD",
+    OFPT_STATS_REQUEST: "STATS_REQUEST",
+    OFPT_STATS_REPLY: "STATS_REPLY",
+    OFPT_BARRIER_REQUEST: "BARRIER_REQUEST",
+    OFPT_BARRIER_REPLY: "BARRIER_REPLY",
+    OFPT_QUEUE_GET_CONFIG_REQUEST: "QUEUE_GET_CONFIG_REQUEST",
+    OFPT_QUEUE_GET_CONFIG_REPLY: "QUEUE_GET_CONFIG_REPLY",
+}
+
+# ---------------------------------------------------------------------------
+# Port numbers (ofp_port)
+# ---------------------------------------------------------------------------
+
+OFPP_MAX = 0xFF00
+OFPP_IN_PORT = 0xFFF8
+OFPP_TABLE = 0xFFF9
+OFPP_NORMAL = 0xFFFA
+OFPP_FLOOD = 0xFFFB
+OFPP_ALL = 0xFFFC
+OFPP_CONTROLLER = 0xFFFD
+OFPP_LOCAL = 0xFFFE
+OFPP_NONE = 0xFFFF
+
+PORT_NAMES = {
+    OFPP_IN_PORT: "IN_PORT",
+    OFPP_TABLE: "TABLE",
+    OFPP_NORMAL: "NORMAL",
+    OFPP_FLOOD: "FLOOD",
+    OFPP_ALL: "ALL",
+    OFPP_CONTROLLER: "CONTROLLER",
+    OFPP_LOCAL: "LOCAL",
+    OFPP_NONE: "NONE",
+}
+
+# ---------------------------------------------------------------------------
+# Action types (ofp_action_type)
+# ---------------------------------------------------------------------------
+
+OFPAT_OUTPUT = 0
+OFPAT_SET_VLAN_VID = 1
+OFPAT_SET_VLAN_PCP = 2
+OFPAT_STRIP_VLAN = 3
+OFPAT_SET_DL_SRC = 4
+OFPAT_SET_DL_DST = 5
+OFPAT_SET_NW_SRC = 6
+OFPAT_SET_NW_DST = 7
+OFPAT_SET_NW_TOS = 8
+OFPAT_SET_TP_SRC = 9
+OFPAT_SET_TP_DST = 10
+OFPAT_ENQUEUE = 11
+OFPAT_VENDOR = 0xFFFF
+
+ACTION_TYPE_NAMES = {
+    OFPAT_OUTPUT: "OUTPUT",
+    OFPAT_SET_VLAN_VID: "SET_VLAN_VID",
+    OFPAT_SET_VLAN_PCP: "SET_VLAN_PCP",
+    OFPAT_STRIP_VLAN: "STRIP_VLAN",
+    OFPAT_SET_DL_SRC: "SET_DL_SRC",
+    OFPAT_SET_DL_DST: "SET_DL_DST",
+    OFPAT_SET_NW_SRC: "SET_NW_SRC",
+    OFPAT_SET_NW_DST: "SET_NW_DST",
+    OFPAT_SET_NW_TOS: "SET_NW_TOS",
+    OFPAT_SET_TP_SRC: "SET_TP_SRC",
+    OFPAT_SET_TP_DST: "SET_TP_DST",
+    OFPAT_ENQUEUE: "ENQUEUE",
+    OFPAT_VENDOR: "VENDOR",
+}
+
+#: Wire length of the fixed part of each action type (multiple of 8).
+ACTION_LENGTHS = {
+    OFPAT_OUTPUT: 8,
+    OFPAT_SET_VLAN_VID: 8,
+    OFPAT_SET_VLAN_PCP: 8,
+    OFPAT_STRIP_VLAN: 8,
+    OFPAT_SET_DL_SRC: 16,
+    OFPAT_SET_DL_DST: 16,
+    OFPAT_SET_NW_SRC: 8,
+    OFPAT_SET_NW_DST: 8,
+    OFPAT_SET_NW_TOS: 8,
+    OFPAT_SET_TP_SRC: 8,
+    OFPAT_SET_TP_DST: 8,
+    OFPAT_ENQUEUE: 16,
+    OFPAT_VENDOR: 8,
+}
+
+# ---------------------------------------------------------------------------
+# Flow Mod commands and flags (ofp_flow_mod_command / ofp_flow_mod_flags)
+# ---------------------------------------------------------------------------
+
+OFPFC_ADD = 0
+OFPFC_MODIFY = 1
+OFPFC_MODIFY_STRICT = 2
+OFPFC_DELETE = 3
+OFPFC_DELETE_STRICT = 4
+
+FLOW_MOD_COMMAND_NAMES = {
+    OFPFC_ADD: "ADD",
+    OFPFC_MODIFY: "MODIFY",
+    OFPFC_MODIFY_STRICT: "MODIFY_STRICT",
+    OFPFC_DELETE: "DELETE",
+    OFPFC_DELETE_STRICT: "DELETE_STRICT",
+}
+
+OFPFF_SEND_FLOW_REM = 1 << 0
+OFPFF_CHECK_OVERLAP = 1 << 1
+OFPFF_EMERG = 1 << 2
+
+# ---------------------------------------------------------------------------
+# Wildcard bits (ofp_flow_wildcards)
+# ---------------------------------------------------------------------------
+
+OFPFW_IN_PORT = 1 << 0
+OFPFW_DL_VLAN = 1 << 1
+OFPFW_DL_SRC = 1 << 2
+OFPFW_DL_DST = 1 << 3
+OFPFW_DL_TYPE = 1 << 4
+OFPFW_NW_PROTO = 1 << 5
+OFPFW_TP_SRC = 1 << 6
+OFPFW_TP_DST = 1 << 7
+OFPFW_NW_SRC_SHIFT = 8
+OFPFW_NW_SRC_BITS = 6
+OFPFW_NW_SRC_MASK = ((1 << OFPFW_NW_SRC_BITS) - 1) << OFPFW_NW_SRC_SHIFT
+OFPFW_NW_SRC_ALL = 32 << OFPFW_NW_SRC_SHIFT
+OFPFW_NW_DST_SHIFT = 14
+OFPFW_NW_DST_BITS = 6
+OFPFW_NW_DST_MASK = ((1 << OFPFW_NW_DST_BITS) - 1) << OFPFW_NW_DST_SHIFT
+OFPFW_NW_DST_ALL = 32 << OFPFW_NW_DST_SHIFT
+OFPFW_DL_VLAN_PCP = 1 << 20
+OFPFW_NW_TOS = 1 << 21
+OFPFW_ALL = (1 << 22) - 1
+
+# ---------------------------------------------------------------------------
+# Error types and codes (ofp_error_type / codes)
+# ---------------------------------------------------------------------------
+
+OFPET_HELLO_FAILED = 0
+OFPET_BAD_REQUEST = 1
+OFPET_BAD_ACTION = 2
+OFPET_FLOW_MOD_FAILED = 3
+OFPET_PORT_MOD_FAILED = 4
+OFPET_QUEUE_OP_FAILED = 5
+
+ERROR_TYPE_NAMES = {
+    OFPET_HELLO_FAILED: "HELLO_FAILED",
+    OFPET_BAD_REQUEST: "BAD_REQUEST",
+    OFPET_BAD_ACTION: "BAD_ACTION",
+    OFPET_FLOW_MOD_FAILED: "FLOW_MOD_FAILED",
+    OFPET_PORT_MOD_FAILED: "PORT_MOD_FAILED",
+    OFPET_QUEUE_OP_FAILED: "QUEUE_OP_FAILED",
+}
+
+# ofp_hello_failed_code
+OFPHFC_INCOMPATIBLE = 0
+OFPHFC_EPERM = 1
+
+# ofp_bad_request_code
+OFPBRC_BAD_VERSION = 0
+OFPBRC_BAD_TYPE = 1
+OFPBRC_BAD_STAT = 2
+OFPBRC_BAD_VENDOR = 3
+OFPBRC_BAD_SUBTYPE = 4
+OFPBRC_EPERM = 5
+OFPBRC_BAD_LEN = 6
+OFPBRC_BUFFER_EMPTY = 7
+OFPBRC_BUFFER_UNKNOWN = 8
+
+# ofp_bad_action_code
+OFPBAC_BAD_TYPE = 0
+OFPBAC_BAD_LEN = 1
+OFPBAC_BAD_VENDOR = 2
+OFPBAC_BAD_VENDOR_TYPE = 3
+OFPBAC_BAD_OUT_PORT = 4
+OFPBAC_BAD_ARGUMENT = 5
+OFPBAC_EPERM = 6
+OFPBAC_TOO_MANY = 7
+OFPBAC_BAD_QUEUE = 8
+
+# ofp_flow_mod_failed_code
+OFPFMFC_ALL_TABLES_FULL = 0
+OFPFMFC_OVERLAP = 1
+OFPFMFC_EPERM = 2
+OFPFMFC_BAD_EMERG_TIMEOUT = 3
+OFPFMFC_BAD_COMMAND = 4
+OFPFMFC_UNSUPPORTED = 5
+
+# ofp_port_mod_failed_code
+OFPPMFC_BAD_PORT = 0
+OFPPMFC_BAD_HW_ADDR = 1
+
+# ofp_queue_op_failed_code
+OFPQOFC_BAD_PORT = 0
+OFPQOFC_BAD_QUEUE = 1
+OFPQOFC_EPERM = 2
+
+ERROR_CODE_NAMES = {
+    OFPET_HELLO_FAILED: {0: "INCOMPATIBLE", 1: "EPERM"},
+    OFPET_BAD_REQUEST: {
+        0: "BAD_VERSION", 1: "BAD_TYPE", 2: "BAD_STAT", 3: "BAD_VENDOR",
+        4: "BAD_SUBTYPE", 5: "EPERM", 6: "BAD_LEN", 7: "BUFFER_EMPTY",
+        8: "BUFFER_UNKNOWN",
+    },
+    OFPET_BAD_ACTION: {
+        0: "BAD_TYPE", 1: "BAD_LEN", 2: "BAD_VENDOR", 3: "BAD_VENDOR_TYPE",
+        4: "BAD_OUT_PORT", 5: "BAD_ARGUMENT", 6: "EPERM", 7: "TOO_MANY",
+        8: "BAD_QUEUE",
+    },
+    OFPET_FLOW_MOD_FAILED: {
+        0: "ALL_TABLES_FULL", 1: "OVERLAP", 2: "EPERM", 3: "BAD_EMERG_TIMEOUT",
+        4: "BAD_COMMAND", 5: "UNSUPPORTED",
+    },
+    OFPET_PORT_MOD_FAILED: {0: "BAD_PORT", 1: "BAD_HW_ADDR"},
+    OFPET_QUEUE_OP_FAILED: {0: "BAD_PORT", 1: "BAD_QUEUE", 2: "EPERM"},
+}
+
+# ---------------------------------------------------------------------------
+# Stats types (ofp_stats_types)
+# ---------------------------------------------------------------------------
+
+OFPST_DESC = 0
+OFPST_FLOW = 1
+OFPST_AGGREGATE = 2
+OFPST_TABLE = 3
+OFPST_PORT = 4
+OFPST_QUEUE = 5
+OFPST_VENDOR = 0xFFFF
+
+STATS_TYPE_NAMES = {
+    OFPST_DESC: "DESC",
+    OFPST_FLOW: "FLOW",
+    OFPST_AGGREGATE: "AGGREGATE",
+    OFPST_TABLE: "TABLE",
+    OFPST_PORT: "PORT",
+    OFPST_QUEUE: "QUEUE",
+    OFPST_VENDOR: "VENDOR",
+}
+
+# ---------------------------------------------------------------------------
+# Config flags, capabilities, packet-in reasons, misc
+# ---------------------------------------------------------------------------
+
+OFPC_FRAG_NORMAL = 0
+OFPC_FRAG_DROP = 1
+OFPC_FRAG_REASM = 2
+OFPC_FRAG_MASK = 3
+
+OFPC_FLOW_STATS = 1 << 0
+OFPC_TABLE_STATS = 1 << 1
+OFPC_PORT_STATS = 1 << 2
+OFPC_STP = 1 << 3
+OFPC_RESERVED = 1 << 4
+OFPC_IP_REASM = 1 << 5
+OFPC_QUEUE_STATS = 1 << 6
+OFPC_ARP_MATCH_IP = 1 << 7
+
+OFPR_NO_MATCH = 0
+OFPR_ACTION = 1
+
+OFPRR_IDLE_TIMEOUT = 0
+OFPRR_HARD_TIMEOUT = 1
+OFPRR_DELETE = 2
+
+OFPPR_ADD = 0
+OFPPR_DELETE = 1
+OFPPR_MODIFY = 2
+
+OFP_NO_BUFFER = 0xFFFFFFFF
+OFP_DEFAULT_PRIORITY = 0x8000
+OFP_VLAN_NONE = 0xFFFF
+OFP_DEFAULT_MISS_SEND_LEN = 128
+OFPQ_ALL = 0xFFFFFFFF
+
+OFP_FLOW_PERMANENT = 0
+
+# Ethernet types used by the match / packet code.
+ETH_TYPE_IP = 0x0800
+ETH_TYPE_ARP = 0x0806
+ETH_TYPE_VLAN = 0x8100
+
+# IP protocol numbers.
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+# Fixed wire sizes of full messages / structures (bytes).
+OFP_MATCH_LEN = 40
+OFP_FLOW_MOD_LEN = 72           # header + match + fixed fields, without actions
+OFP_PACKET_OUT_LEN = 16         # header + fixed fields, without actions/data
+OFP_SWITCH_CONFIG_LEN = 12
+OFP_STATS_REQUEST_LEN = 12      # header + type + flags, without body
+OFP_PHY_PORT_LEN = 48
+OFP_SWITCH_FEATURES_LEN = 32    # without ports
+OFP_ACTION_HEADER_LEN = 4
+OFP_ERROR_MSG_LEN = 12          # without data
+OFP_PACKET_IN_LEN = 18          # without packet data
+OFP_FLOW_REMOVED_LEN = 88
+OFP_PORT_STATUS_LEN = 64
+OFP_QUEUE_GET_CONFIG_REQUEST_LEN = 12
+OFP_QUEUE_GET_CONFIG_REPLY_LEN = 16
+OFP_FLOW_STATS_REQUEST_LEN = 44
+OFP_PORT_STATS_REQUEST_LEN = 8
+OFP_QUEUE_STATS_REQUEST_LEN = 8

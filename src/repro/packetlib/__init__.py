@@ -1,0 +1,43 @@
+"""Data-plane packet substrate.
+
+Probe packets (§3.3 of the paper) and the payloads carried inside
+``Packet Out`` / ``Packet In`` messages are ordinary Ethernet frames.  This
+package provides header classes with symbolic-aware ``pack``/``unpack``,
+convenience builders for the concrete probes the test catalogue uses, and the
+flow-key extraction that switches perform before a flow-table lookup.
+"""
+
+from repro.packetlib.headers import (
+    ArpHeader,
+    EthernetHeader,
+    IcmpHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    VlanTag,
+)
+from repro.packetlib.builder import (
+    build_arp_packet,
+    build_ethernet_frame,
+    build_tcp_packet,
+    build_udp_packet,
+    build_vlan_tcp_packet,
+)
+from repro.packetlib.flowkey import FlowKey, extract_flow_key
+
+__all__ = [
+    "EthernetHeader",
+    "VlanTag",
+    "ArpHeader",
+    "Ipv4Header",
+    "IcmpHeader",
+    "TcpHeader",
+    "UdpHeader",
+    "build_ethernet_frame",
+    "build_tcp_packet",
+    "build_udp_packet",
+    "build_vlan_tcp_packet",
+    "build_arp_packet",
+    "FlowKey",
+    "extract_flow_key",
+]

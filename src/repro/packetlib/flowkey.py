@@ -1,0 +1,132 @@
+"""Flow-key extraction: turn a raw frame into the OpenFlow 1.0 match fields.
+
+Both agents call this before a flow-table lookup, the same way both C
+implementations ship a ``flow_extract()``.  The extraction itself is not a
+source of inconsistencies in the paper, so it is shared; what the agents *do*
+with the key (wildcard interpretation, validation, rewriting) is theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PacketParseError
+from repro.openflow import constants as c
+from repro.packetlib.headers import (
+    ArpHeader,
+    EthernetHeader,
+    IcmpHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    VlanTag,
+)
+from repro.wire.buffer import SymBuffer
+from repro.wire.fields import FieldValue, field_repr
+
+__all__ = ["FlowKey", "extract_flow_key"]
+
+
+@dataclass
+class FlowKey:
+    """The 12-tuple (plus in_port) a v1.0 switch matches on."""
+
+    in_port: FieldValue = 0
+    dl_src: FieldValue = 0
+    dl_dst: FieldValue = 0
+    dl_vlan: FieldValue = c.OFP_VLAN_NONE
+    dl_vlan_pcp: FieldValue = 0
+    dl_type: FieldValue = 0
+    nw_tos: FieldValue = 0
+    nw_proto: FieldValue = 0
+    nw_src: FieldValue = 0
+    nw_dst: FieldValue = 0
+    tp_src: FieldValue = 0
+    tp_dst: FieldValue = 0
+
+    def as_dict(self) -> Dict[str, FieldValue]:
+        return {
+            "in_port": self.in_port,
+            "dl_src": self.dl_src,
+            "dl_dst": self.dl_dst,
+            "dl_vlan": self.dl_vlan,
+            "dl_vlan_pcp": self.dl_vlan_pcp,
+            "dl_type": self.dl_type,
+            "nw_tos": self.nw_tos,
+            "nw_proto": self.nw_proto,
+            "nw_src": self.nw_src,
+            "nw_dst": self.nw_dst,
+            "tp_src": self.tp_src,
+            "tp_dst": self.tp_dst,
+        }
+
+    def describe(self) -> str:
+        """Normalized rendering used in output traces.
+
+        Symbolic field values are rendered as ``*``: the observable fact is
+        *which* header fields the packet carries after rewriting, and output
+        traces must not split into one class per symbolic expression shape
+        (§3.3 "Normalizing results").
+        """
+
+        parts = []
+        for name, value in self.as_dict().items():
+            from repro.wire.fields import is_symbolic_field
+
+            rendered = "*" if is_symbolic_field(value) else field_repr(value)
+            parts.append("%s=%s" % (name, rendered))
+        return "flow{%s}" % ",".join(parts)
+
+
+def extract_flow_key(frame: SymBuffer, in_port: FieldValue) -> FlowKey:
+    """Parse *frame* into a :class:`FlowKey` (best effort on short frames)."""
+
+    key = FlowKey(in_port=in_port)
+    if len(frame) < EthernetHeader.LENGTH:
+        raise PacketParseError("frame of %d bytes is too short for Ethernet" % len(frame))
+    eth = EthernetHeader.unpack(frame)
+    key.dl_src = eth.dl_src
+    key.dl_dst = eth.dl_dst
+    key.dl_type = eth.dl_type
+    offset = EthernetHeader.LENGTH
+
+    dl_type = eth.dl_type
+    if isinstance(dl_type, int) and dl_type == c.ETH_TYPE_VLAN:
+        if len(frame) - offset >= VlanTag.LENGTH:
+            tag = VlanTag.unpack(frame, offset)
+            key.dl_vlan = tag.vid
+            key.dl_vlan_pcp = tag.pcp
+            key.dl_type = tag.inner_type
+            dl_type = tag.inner_type
+            offset += VlanTag.LENGTH
+
+    if isinstance(dl_type, int) and dl_type == c.ETH_TYPE_IP:
+        if len(frame) - offset >= Ipv4Header.LENGTH:
+            ip = Ipv4Header.unpack(frame, offset)
+            key.nw_tos = ip.tos
+            key.nw_proto = ip.protocol
+            key.nw_src = ip.src
+            key.nw_dst = ip.dst
+            l4_offset = offset + Ipv4Header.LENGTH
+            protocol = ip.protocol
+            if isinstance(protocol, int):
+                if protocol == c.IPPROTO_TCP and len(frame) - l4_offset >= TcpHeader.LENGTH:
+                    tcp = TcpHeader.unpack(frame, l4_offset)
+                    key.tp_src = tcp.src_port
+                    key.tp_dst = tcp.dst_port
+                elif protocol == c.IPPROTO_UDP and len(frame) - l4_offset >= UdpHeader.LENGTH:
+                    udp = UdpHeader.unpack(frame, l4_offset)
+                    key.tp_src = udp.src_port
+                    key.tp_dst = udp.dst_port
+                elif protocol == c.IPPROTO_ICMP and len(frame) - l4_offset >= IcmpHeader.LENGTH:
+                    icmp = IcmpHeader.unpack(frame, l4_offset)
+                    key.tp_src = icmp.icmp_type
+                    key.tp_dst = icmp.code
+    elif isinstance(dl_type, int) and dl_type == c.ETH_TYPE_ARP:
+        if len(frame) - offset >= ArpHeader.LENGTH:
+            arp = ArpHeader.unpack(frame, offset)
+            key.nw_proto = arp.opcode
+            key.nw_src = arp.spa
+            key.nw_dst = arp.tpa
+    return key

@@ -1,0 +1,340 @@
+"""The path-exploration engine.
+
+The engine explores every feasible execution path of a deterministic Python
+program that computes on symbolic bit-vectors.  The mechanism is the classic
+*decision-schedule re-execution* used by lightweight model checkers: a path is
+identified by the sequence of boolean outcomes taken at symbolic branches; the
+engine re-runs the program from scratch once per path, replaying a recorded
+prefix of decisions and scheduling the unexplored sibling of every new branch
+for a later run (depth-first).
+
+Compared to state-forking engines (KLEE/Cloud9) this trades CPU time
+(re-execution) for implementation simplicity and for the ability to execute
+completely ordinary Python code — which is exactly the trade-off a pure-Python
+reproduction wants.  The artefacts it produces per path are identical to what
+SOFT consumes: a path condition and an output event log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DecisionLimitExceeded,
+    EngineError,
+    PathDivergedError,
+    PathLimitExceeded,
+    SolverError,
+)
+from repro.symbex.expr import (
+    BoolConst,
+    BoolExpr,
+    BVConst,
+    BVExpr,
+    bool_not,
+    set_branch_hook,
+)
+from repro.symbex.simplify import simplify_bool
+from repro.symbex.solver import SatResult, Solver, SolverConfig
+from repro.symbex.state import PathCondition, PathState
+
+__all__ = [
+    "EngineConfig",
+    "Engine",
+    "PathRecord",
+    "ExplorationResult",
+    "active_engine",
+]
+
+_thread_local = threading.local()
+
+
+def active_engine() -> Optional["Engine"]:
+    """Return the engine currently exploring on this thread, if any."""
+
+    return getattr(_thread_local, "engine", None)
+
+
+class _PathAbort(Exception):
+    """Internal: unwinds the program when the current path must be abandoned."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class EngineConfig:
+    """Exploration limits and policies."""
+
+    #: Hard cap on the number of completed paths (None = unlimited).
+    max_paths: Optional[int] = 200_000
+    #: Hard cap on symbolic branch decisions along a single path.
+    max_decisions_per_path: int = 4_096
+    #: Abort the whole exploration after this many seconds (None = unlimited).
+    time_budget: Optional[float] = None
+    #: Raise instead of silently truncating when a limit is hit.
+    strict_limits: bool = False
+
+
+@dataclass
+class PathRecord:
+    """Everything SOFT needs to know about one explored path."""
+
+    path_id: int
+    condition: PathCondition
+    decisions: Tuple[bool, ...]
+    events: List[Any] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    result: Any = None
+    #: Exception info if the program raised (engine-level failure, not an
+    #: agent crash — agent crashes are normal events recorded by the harness).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def constraint_size(self) -> int:
+        return self.condition.size()
+
+
+@dataclass
+class ExplorationStats:
+    """Aggregate statistics of one exploration."""
+
+    paths: int = 0
+    failed_paths: int = 0
+    decisions: int = 0
+    forced_decisions: int = 0
+    forks: int = 0
+    solver_queries: int = 0
+    wall_time: float = 0.0
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
+
+
+@dataclass
+class ExplorationResult:
+    """All paths of one exploration plus bookkeeping."""
+
+    paths: List[PathRecord]
+    stats: ExplorationStats
+    solver_stats: Dict[str, float]
+
+    def successful_paths(self) -> List[PathRecord]:
+        return [p for p in self.paths if p.ok]
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def average_constraint_size(self) -> float:
+        sizes = [p.constraint_size() for p in self.paths]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def max_constraint_size(self) -> int:
+        sizes = [p.constraint_size() for p in self.paths]
+        return max(sizes) if sizes else 0
+
+
+class Engine:
+    """Depth-first exhaustive exploration of a symbolic program."""
+
+    def __init__(self, solver: Optional[Solver] = None,
+                 config: Optional[EngineConfig] = None) -> None:
+        self.solver = solver if solver is not None else Solver(SolverConfig())
+        self.config = config if config is not None else EngineConfig()
+        self._current_state: Optional[PathState] = None
+        self._current_prefix: Tuple[bool, ...] = ()
+        self._pending: List[Tuple[bool, ...]] = []
+        self._stats = ExplorationStats()
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def explore(self, program: Callable[[PathState], Any]) -> ExplorationResult:
+        """Run *program* once per feasible path and collect all path records.
+
+        *program* receives a fresh :class:`PathState` per path.  It must be
+        deterministic: for the same sequence of branch outcomes it must make
+        the same branch queries in the same order.
+        """
+
+        started = time.perf_counter()
+        self._stats = ExplorationStats()
+        self._pending = [()]
+        self._deadline = (
+            started + self.config.time_budget if self.config.time_budget else None
+        )
+        records: List[PathRecord] = []
+        path_id = 0
+
+        previous_engine = getattr(_thread_local, "engine", None)
+        _thread_local.engine = self
+        previous_hook = set_branch_hook(self._branch_hook)
+        try:
+            while self._pending:
+                if self.config.max_paths is not None and path_id >= self.config.max_paths:
+                    self._note_truncation("max_paths")
+                    break
+                if self._deadline is not None and time.perf_counter() > self._deadline:
+                    self._note_truncation("time_budget")
+                    break
+                prefix = self._pending.pop()
+                record = self._run_one(program, path_id, prefix)
+                if record is not None:
+                    records.append(record)
+                    path_id += 1
+        finally:
+            set_branch_hook(previous_hook)
+            _thread_local.engine = previous_engine
+            self._current_state = None
+
+        self._stats.paths = len(records)
+        self._stats.failed_paths = sum(1 for r in records if not r.ok)
+        self._stats.wall_time = time.perf_counter() - started
+        self._stats.solver_queries = self.solver.stats.queries
+        return ExplorationResult(
+            paths=records,
+            stats=self._stats,
+            solver_stats=self.solver.stats.as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    # Single-path execution
+    # ------------------------------------------------------------------
+
+    def _run_one(self, program: Callable[[PathState], Any], path_id: int,
+                 prefix: Tuple[bool, ...]) -> Optional[PathRecord]:
+        state = PathState(path_id=path_id)
+        state._engine = self
+        self._current_state = state
+        self._current_prefix = prefix
+        error: Optional[str] = None
+        result: Any = None
+        try:
+            result = program(state)
+        except _PathAbort:
+            # Infeasible replay or deliberate abandonment: not a real path.
+            return None
+        except (DecisionLimitExceeded, PathDivergedError) as exc:
+            if self.config.strict_limits:
+                raise
+            error = "%s: %s" % (type(exc).__name__, exc)
+        except Exception as exc:  # noqa: BLE001 - program bugs become path errors
+            error = "%s: %s" % (type(exc).__name__, exc)
+        return PathRecord(
+            path_id=path_id,
+            condition=state.condition,
+            decisions=tuple(state.decisions),
+            events=list(state.events),
+            symbols=dict(state.symbols),
+            result=result,
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def _branch_hook(self, condition: BoolExpr) -> bool:
+        state = self._current_state
+        if state is None:
+            raise EngineError("branch taken with no active path state")
+        condition = simplify_bool(condition)
+        if isinstance(condition, BoolConst):
+            return condition.value
+
+        if len(state.decisions) >= self.config.max_decisions_per_path:
+            raise DecisionLimitExceeded(
+                "path exceeded %d symbolic decisions" % self.config.max_decisions_per_path
+            )
+
+        index = len(state.decisions)
+        if index < len(self._current_prefix):
+            # Replaying a previously scheduled prefix: follow it blindly (its
+            # feasibility was established when it was scheduled).
+            outcome = self._current_prefix[index]
+            state.decisions.append(outcome)
+            state.condition.add(condition if outcome else bool_not(condition))
+            self._stats.decisions += 1
+            return outcome
+
+        # Fresh branch: determine which outcomes are feasible.
+        base = state.condition.constraints()
+        true_result = self._query(base + [condition])
+        if true_result.is_unsat:
+            outcome = False
+            self._stats.forced_decisions += 1
+        else:
+            false_result = self._query(base + [bool_not(condition)])
+            if false_result.is_unsat:
+                outcome = True
+                self._stats.forced_decisions += 1
+            else:
+                # Both sides feasible: take True now, schedule False for later.
+                outcome = True
+                self._stats.forks += 1
+                self._pending.append(tuple(state.decisions) + (False,))
+
+        state.decisions.append(outcome)
+        state.condition.add(condition if outcome else bool_not(condition))
+        self._stats.decisions += 1
+        return outcome
+
+    def _query(self, constraints: Sequence[BoolExpr]) -> SatResult:
+        result = self.solver.check(constraints)
+        if result.is_unknown:
+            raise SolverError(
+                "solver gave up while checking branch feasibility; raise the "
+                "conflict budget in SolverConfig"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Concretization support
+    # ------------------------------------------------------------------
+
+    def concretize_in_state(self, state: PathState, value: BVExpr,
+                            hint: Optional[int] = None) -> int:
+        """Pin *value* to one concrete integer consistent with the path."""
+
+        if isinstance(value, BVConst):
+            return value.value
+        if isinstance(value, int):
+            return value
+        constraints = state.condition.constraints()
+        if hint is not None:
+            hinted = self.solver.check(constraints + [value == hint])
+            if hinted.is_sat:
+                state.condition.add(value == hint)
+                return hint
+        result = self.solver.check(constraints)
+        if not result.is_sat:
+            raise EngineError("current path condition is unsatisfiable during concretization")
+        from repro.symbex.simplify import evaluate_bv
+
+        concrete = evaluate_bv(value, result.model, default=0)
+        state.condition.add(value == concrete)
+        return concrete
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _note_truncation(self, reason: str) -> None:
+        if self.config.strict_limits:
+            raise PathLimitExceeded("exploration truncated: %s" % reason)
+        self._stats.truncated = True
+        self._stats.truncation_reason = reason
+
+    def abort_current_path(self, reason: str = "aborted by program") -> None:
+        """Abandon the path currently being executed (it produces no record)."""
+
+        raise _PathAbort(reason)

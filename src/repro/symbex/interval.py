@@ -1,0 +1,291 @@
+"""Unsigned-interval abstract domain used as a fast satisfiability pre-check.
+
+The complete decision procedure (bit-blasting + SAT) is comparatively slow in
+pure Python, while the vast majority of path-condition atoms produced by the
+OpenFlow agents have the shape ``field <cmp> constant``.  This module derives,
+for each free variable, an over-approximating set of feasible values
+(an interval plus a small set of excluded points).  Two sound outcomes are
+possible:
+
+* ``UNSAT`` — some variable's feasible set is empty; the conjunction is
+  definitely unsatisfiable and the SAT solver never runs.
+* ``UNKNOWN`` — a candidate model is proposed (and verified by concrete
+  evaluation whenever the conjunction only mentions supported atoms); the
+  caller falls back to the complete procedure if the candidate fails.
+
+The domain is deliberately simple; completeness comes from the SAT backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.symbex.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BVCmp,
+    BVConst,
+    BVExpr,
+    BVVar,
+    BVZeroExt,
+    BVExtract,
+    collect_variables,
+)
+from repro.symbex.simplify import evaluate_bool
+
+__all__ = ["IntervalDomain", "IntervalOutcome", "analyze_conjunction"]
+
+
+@dataclass
+class _VarDomain:
+    """Feasible unsigned values for one variable."""
+
+    width: int
+    low: int = 0
+    high: int = 0
+    excluded: Set[int] = field(default_factory=set)
+    forced_bits_low: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.high = (1 << self.width) - 1
+
+    def constrain_low(self, value: int) -> None:
+        if value > self.low:
+            self.low = value
+
+    def constrain_high(self, value: int) -> None:
+        if value < self.high:
+            self.high = value
+
+    def exclude(self, value: int) -> None:
+        self.excluded.add(value)
+
+    def is_empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        span = self.high - self.low + 1
+        if span <= len(self.excluded):
+            remaining = span - sum(1 for v in self.excluded if self.low <= v <= self.high)
+            return remaining <= 0
+        return False
+
+    def pick(self) -> Optional[int]:
+        """Return some feasible value, preferring the interval bounds."""
+
+        if self.low > self.high:
+            return None
+        for candidate in (self.low, self.high):
+            if candidate not in self.excluded and self._bits_ok(candidate):
+                return candidate
+        value = self.low
+        # The excluded set is small in practice (a handful of != atoms).
+        limit = min(self.high, self.low + len(self.excluded) + 64)
+        while value <= limit:
+            if value not in self.excluded and self._bits_ok(value):
+                return value
+            value += 1
+        return None
+
+    def _bits_ok(self, value: int) -> bool:
+        for (high, low), (expected, _relation) in self.forced_bits_low.items():
+            chunk = (value >> low) & ((1 << (high - low + 1)) - 1)
+            if chunk != expected:
+                return False
+        return True
+
+
+class IntervalOutcome:
+    """Result of the interval analysis of a conjunction."""
+
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __init__(self, status: str, candidate: Optional[Dict[str, int]] = None,
+                 verified: bool = False) -> None:
+        self.status = status
+        self.candidate = candidate or {}
+        #: True when the candidate was checked by concrete evaluation of the
+        #: full conjunction and found satisfying (i.e. this is a real model).
+        self.verified = verified
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == self.UNSAT
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "IntervalOutcome(%s, verified=%s)" % (self.status, self.verified)
+
+
+class IntervalDomain:
+    """Accumulates per-variable interval facts from comparison atoms."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, _VarDomain] = {}
+        self._unsupported: List[BoolExpr] = []
+        self._contradiction = False
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, atom: BoolExpr) -> None:
+        """Incorporate *atom*; unsupported shapes are recorded, not dropped."""
+
+        if isinstance(atom, BoolConst):
+            if not atom.value:
+                self._contradiction = True
+            return
+        if isinstance(atom, BoolAnd):
+            for operand in atom.operands:
+                self.add(operand)
+            return
+        if isinstance(atom, BoolNot):
+            inner = atom.operand
+            if isinstance(inner, BVCmp):
+                self.add(_negate_cmp(inner))
+                return
+            self._unsupported.append(atom)
+            return
+        if isinstance(atom, BVCmp):
+            if not self._add_cmp(atom):
+                self._unsupported.append(atom)
+            return
+        self._unsupported.append(atom)
+
+    def _domain_for(self, var: BVVar) -> _VarDomain:
+        domain = self._domains.get(var.name)
+        if domain is None:
+            domain = _VarDomain(width=var.width)
+            self._domains[var.name] = domain
+        return domain
+
+    def _add_cmp(self, atom: BVCmp) -> bool:
+        var, const, op = _normalize(atom)
+        if var is None:
+            return False
+        if isinstance(var, BVVar):
+            domain = self._domain_for(var)
+            return _apply(domain, op, const)
+        if isinstance(var, BVExtract) and isinstance(var.operand, BVVar) and op == "eq":
+            domain = self._domain_for(var.operand)
+            domain.forced_bits_low[(var.high, var.low)] = (const, 0)
+            return True
+        return False
+
+    # -- queries -------------------------------------------------------------
+
+    def is_definitely_unsat(self) -> bool:
+        if self._contradiction:
+            return True
+        return any(d.is_empty() for d in self._domains.values())
+
+    def candidate_model(self) -> Optional[Dict[str, int]]:
+        model: Dict[str, int] = {}
+        for name, domain in self._domains.items():
+            value = domain.pick()
+            if value is None:
+                return None
+            model[name] = value
+        return model
+
+    @property
+    def has_unsupported_atoms(self) -> bool:
+        return bool(self._unsupported)
+
+
+def _negate_cmp(atom: BVCmp) -> BVCmp:
+    flipped = {"eq": "ne", "ne": "eq"}
+    if atom.op in flipped:
+        return BVCmp(flipped[atom.op], atom.lhs, atom.rhs)
+    if atom.op == "ult":
+        return BVCmp("ule", atom.rhs, atom.lhs)
+    if atom.op == "ule":
+        return BVCmp("ult", atom.rhs, atom.lhs)
+    if atom.op == "slt":
+        return BVCmp("sle", atom.rhs, atom.lhs)
+    return BVCmp("slt", atom.rhs, atom.lhs)
+
+
+def _strip_zext(expr: BVExpr) -> BVExpr:
+    while isinstance(expr, BVZeroExt):
+        expr = expr.operand
+    return expr
+
+
+def _normalize(atom: BVCmp) -> Tuple[Optional[BVExpr], int, str]:
+    """Rewrite the atom as ``term <op> constant`` when possible."""
+
+    lhs, rhs, op = _strip_zext(atom.lhs), _strip_zext(atom.rhs), atom.op
+    if isinstance(lhs, BVConst) and not isinstance(rhs, BVConst):
+        lhs, rhs = rhs, lhs
+        op = {"eq": "eq", "ne": "ne", "ult": "ugt", "ule": "uge", "slt": "sgt", "sle": "sge"}[op]
+    if not isinstance(rhs, BVConst):
+        return None, 0, op
+    if isinstance(lhs, (BVVar, BVExtract)):
+        return lhs, rhs.value, op
+    return None, 0, op
+
+
+def _apply(domain: _VarDomain, op: str, value: int) -> bool:
+    maximum = (1 << domain.width) - 1
+    value = value & maximum
+    if op == "eq":
+        domain.constrain_low(value)
+        domain.constrain_high(value)
+        return True
+    if op == "ne":
+        domain.exclude(value)
+        return True
+    if op == "ult":
+        domain.constrain_high(value - 1) if value > 0 else domain.constrain_high(-1)
+        return True
+    if op == "ule":
+        domain.constrain_high(value)
+        return True
+    if op == "ugt":
+        domain.constrain_low(value + 1)
+        return True
+    if op == "uge":
+        domain.constrain_low(value)
+        return True
+    # Signed comparisons against constants are rare in the agents; treat them
+    # as unsupported so the complete solver decides.
+    return False
+
+
+def analyze_conjunction(atoms: Iterable[BoolExpr]) -> IntervalOutcome:
+    """Analyze the conjunction of *atoms*.
+
+    Returns an :class:`IntervalOutcome` whose status is ``unsat`` when the
+    interval domain proves infeasibility, and ``unknown`` otherwise.  In the
+    unknown case a candidate model is attached; when every atom was supported
+    (or the candidate satisfies the full conjunction under concrete
+    evaluation), the candidate is flagged as verified, so callers may skip the
+    SAT backend entirely.
+    """
+
+    atoms = list(atoms)
+    domain = IntervalDomain()
+    for atom in atoms:
+        domain.add(atom)
+    if domain.is_definitely_unsat():
+        return IntervalOutcome(IntervalOutcome.UNSAT)
+
+    candidate = domain.candidate_model()
+    if candidate is None:
+        return IntervalOutcome(IntervalOutcome.UNKNOWN)
+
+    # Bind every variable that occurs anywhere in the conjunction; variables
+    # untouched by interval facts default to zero.
+    all_vars: Dict[str, int] = {}
+    for atom in atoms:
+        for name in collect_variables(atom):
+            all_vars.setdefault(name, 0)
+    all_vars.update(candidate)
+
+    try:
+        satisfied = all(evaluate_bool(atom, all_vars) for atom in atoms)
+    except Exception:  # pragma: no cover - defensive; evaluation never raises on closed terms
+        satisfied = False
+    return IntervalOutcome(IntervalOutcome.UNKNOWN, candidate=all_vars, verified=satisfied)

@@ -1,0 +1,302 @@
+"""Expression simplification, substitution and concrete evaluation.
+
+The smart constructors in :mod:`repro.symbex.expr` already perform constant
+folding at construction time.  This module adds:
+
+* :func:`simplify` / :func:`simplify_bool` — a bottom-up rewriting pass that
+  re-applies the smart constructors over an existing term, which folds terms
+  whose operands *became* constant after substitution and applies a handful of
+  deeper algebraic identities.
+* :func:`substitute` — replace free variables by expressions (typically
+  constants from a solver model).
+* :func:`evaluate_bv` / :func:`evaluate_bool` — fully concrete big-int
+  evaluation under a complete assignment.  Used to validate solver models and
+  to replay generated test cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.errors import ExpressionError
+from repro.symbex.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVBinOp,
+    BVCmp,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVSignExt,
+    BVUnOp,
+    BVVar,
+    BVZeroExt,
+    Expr,
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    concat,
+    extract,
+    ite,
+    sign_extend,
+    zero_extend,
+    _make_binop,
+    _make_cmp,
+    _make_unop,
+)
+
+__all__ = [
+    "simplify",
+    "simplify_bool",
+    "substitute",
+    "evaluate_bv",
+    "evaluate_bool",
+]
+
+Assignment = Mapping[str, int]
+
+
+def _rebuild(expr: Expr, cache: Dict[tuple, Expr],
+             substitution: Mapping[str, BVExpr]) -> Expr:
+    key = expr.key()
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = _rebuild_uncached(expr, cache, substitution)
+    cache[key] = result
+    return result
+
+
+def _rebuild_uncached(expr: Expr, cache: Dict[tuple, Expr],
+                      substitution: Mapping[str, BVExpr]) -> Expr:
+    if isinstance(expr, BVConst) or isinstance(expr, BoolConst):
+        return expr
+    if isinstance(expr, BVVar):
+        replacement = substitution.get(expr.name)
+        if replacement is None:
+            return expr
+        if replacement.width != expr.width:
+            raise ExpressionError(
+                "substitution for %r has width %d, expected %d"
+                % (expr.name, replacement.width, expr.width)
+            )
+        return replacement
+    if isinstance(expr, BVBinOp):
+        lhs = _rebuild(expr.lhs, cache, substitution)
+        rhs = _rebuild(expr.rhs, cache, substitution)
+        return _make_binop(expr.op, lhs, rhs)  # type: ignore[arg-type]
+    if isinstance(expr, BVUnOp):
+        return _make_unop(expr.op, _rebuild(expr.operand, cache, substitution))  # type: ignore[arg-type]
+    if isinstance(expr, BVExtract):
+        return extract(_rebuild(expr.operand, cache, substitution), expr.high, expr.low)  # type: ignore[arg-type]
+    if isinstance(expr, BVConcat):
+        return concat(*[_rebuild(p, cache, substitution) for p in expr.parts])  # type: ignore[misc]
+    if isinstance(expr, BVZeroExt):
+        return zero_extend(_rebuild(expr.operand, cache, substitution), expr.width)  # type: ignore[arg-type]
+    if isinstance(expr, BVSignExt):
+        return sign_extend(_rebuild(expr.operand, cache, substitution), expr.width)  # type: ignore[arg-type]
+    if isinstance(expr, BVIte):
+        cond = _rebuild(expr.cond, cache, substitution)
+        then = _rebuild(expr.then, cache, substitution)
+        otherwise = _rebuild(expr.otherwise, cache, substitution)
+        return ite(cond, then, otherwise)  # type: ignore[arg-type]
+    if isinstance(expr, BVCmp):
+        lhs = _rebuild(expr.lhs, cache, substitution)
+        rhs = _rebuild(expr.rhs, cache, substitution)
+        return _make_cmp(expr.op, lhs, rhs)  # type: ignore[arg-type]
+    if isinstance(expr, BoolNot):
+        return bool_not(_rebuild(expr.operand, cache, substitution))  # type: ignore[arg-type]
+    if isinstance(expr, BoolAnd):
+        return bool_and(*[_rebuild(o, cache, substitution) for o in expr.operands])  # type: ignore[misc]
+    if isinstance(expr, BoolOr):
+        return bool_or(*[_rebuild(o, cache, substitution) for o in expr.operands])  # type: ignore[misc]
+    raise ExpressionError("cannot simplify unknown expression node %r" % (expr,))
+
+
+def simplify(expr: BVExpr) -> BVExpr:
+    """Return an equivalent, usually smaller bit-vector expression."""
+
+    result = _rebuild(expr, {}, {})
+    assert isinstance(result, BVExpr)
+    return result
+
+
+def simplify_bool(expr: BoolExpr) -> BoolExpr:
+    """Return an equivalent, usually smaller boolean expression."""
+
+    result = _rebuild(expr, {}, {})
+    assert isinstance(result, BoolExpr)
+    return result
+
+
+def substitute(expr: Expr, bindings: Mapping[str, Union[int, BVExpr]],
+               widths: Mapping[str, int] = None) -> Expr:
+    """Replace free variables of *expr* according to *bindings*.
+
+    Integer bindings need the variable's width; it is taken from *widths* when
+    provided, otherwise from the first occurrence of the variable inside
+    *expr* (which requires the variable to actually occur).
+    """
+
+    substitution: Dict[str, BVExpr] = {}
+    pending_ints: Dict[str, int] = {}
+    for name, value in bindings.items():
+        if isinstance(value, BVExpr):
+            substitution[name] = value
+        elif isinstance(value, bool):
+            raise ExpressionError("refusing to substitute a Python bool for %r" % (name,))
+        elif isinstance(value, int):
+            if widths is not None and name in widths:
+                substitution[name] = BVConst(value, widths[name])
+            else:
+                pending_ints[name] = value
+        else:
+            raise ExpressionError("unsupported substitution value %r for %r" % (value, name))
+    if pending_ints:
+        from repro.symbex.expr import collect_variables
+
+        found = collect_variables(expr)
+        for name, value in pending_ints.items():
+            if name in found:
+                substitution[name] = BVConst(value, found[name])
+            # Variables not present in the expression are silently ignored;
+            # models routinely bind more variables than any single constraint uses.
+    return _rebuild(expr, {}, substitution)
+
+
+# ---------------------------------------------------------------------------
+# Concrete evaluation
+# ---------------------------------------------------------------------------
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _signed(value: int, width: int) -> int:
+    value = _mask(value, width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def evaluate_bv(expr: BVExpr, assignment: Assignment,
+                default: int = None) -> int:
+    """Evaluate *expr* to a Python int under *assignment* (name -> int).
+
+    Unbound variables take *default* when given, otherwise evaluation fails.
+    """
+
+    cache: Dict[tuple, int] = {}
+
+    def run(node: Expr) -> int:
+        key = node.key()
+        if key in cache:
+            return cache[key]
+        value = run_uncached(node)
+        cache[key] = value
+        return value
+
+    def run_bool(node: BoolExpr) -> bool:
+        return bool(run(node))
+
+    def run_uncached(node: Expr) -> int:
+        if isinstance(node, BVConst):
+            return node.value
+        if isinstance(node, BVVar):
+            if node.name in assignment:
+                return _mask(assignment[node.name], node.width)
+            if default is not None:
+                return _mask(default, node.width)
+            raise ExpressionError("no binding for variable %r during evaluation" % (node.name,))
+        if isinstance(node, BVBinOp):
+            lhs, rhs = run(node.lhs), run(node.rhs)
+            return _eval_binop(node.op, lhs, rhs, node.width)
+        if isinstance(node, BVUnOp):
+            operand = run(node.operand)
+            return _mask(~operand if node.op == "not" else -operand, node.width)
+        if isinstance(node, BVExtract):
+            return _mask(run(node.operand) >> node.low, node.width)
+        if isinstance(node, BVConcat):
+            value = 0
+            for part in node.parts:
+                value = (value << part.width) | run(part)
+            return value
+        if isinstance(node, BVZeroExt):
+            return run(node.operand)
+        if isinstance(node, BVSignExt):
+            return _mask(_signed(run(node.operand), node.operand.width), node.width)
+        if isinstance(node, BVIte):
+            return run(node.then) if run_bool(node.cond) else run(node.otherwise)
+        if isinstance(node, BoolConst):
+            return int(node.value)
+        if isinstance(node, BoolNot):
+            return int(not run_bool(node.operand))
+        if isinstance(node, BoolAnd):
+            return int(all(run_bool(o) for o in node.operands))
+        if isinstance(node, BoolOr):
+            return int(any(run_bool(o) for o in node.operands))
+        if isinstance(node, BVCmp):
+            lhs, rhs = run(node.lhs), run(node.rhs)
+            return int(_eval_cmp(node.op, lhs, rhs, node.lhs.width))
+        raise ExpressionError("cannot evaluate unknown node %r" % (node,))
+
+    return run(expr)
+
+
+def _eval_binop(op: str, lhs: int, rhs: int, width: int) -> int:
+    if op == "add":
+        return _mask(lhs + rhs, width)
+    if op == "sub":
+        return _mask(lhs - rhs, width)
+    if op == "mul":
+        return _mask(lhs * rhs, width)
+    if op == "udiv":
+        return _mask(lhs // rhs, width) if rhs else _mask(-1, width)
+    if op == "urem":
+        return _mask(lhs % rhs, width) if rhs else lhs
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        return _mask(lhs << rhs, width) if rhs < width else 0
+    if op == "lshr":
+        return lhs >> rhs if rhs < width else 0
+    if op == "ashr":
+        return _mask(_signed(lhs, width) >> min(rhs, width - 1), width)
+    raise ExpressionError("unknown operator %r" % (op,))
+
+
+def _eval_cmp(op: str, lhs: int, rhs: int, width: int) -> bool:
+    if op == "eq":
+        return lhs == rhs
+    if op == "ne":
+        return lhs != rhs
+    if op == "ult":
+        return lhs < rhs
+    if op == "ule":
+        return lhs <= rhs
+    if op == "slt":
+        return _signed(lhs, width) < _signed(rhs, width)
+    if op == "sle":
+        return _signed(lhs, width) <= _signed(rhs, width)
+    raise ExpressionError("unknown comparison %r" % (op,))
+
+
+def evaluate_bool(expr: BoolExpr, assignment: Assignment,
+                  default: int = None) -> bool:
+    """Evaluate a boolean expression to a Python bool under *assignment*."""
+
+    if isinstance(expr, BoolConst):
+        return expr.value
+    return bool(evaluate_bv(expr, assignment, default=default))  # type: ignore[arg-type]

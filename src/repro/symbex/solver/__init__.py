@@ -1,0 +1,32 @@
+"""Complete decision procedure for quantifier-free bit-vector constraints.
+
+The pipeline mirrors what STP provides to the original SOFT prototype:
+
+1. algebraic simplification (:mod:`repro.symbex.simplify`),
+2. a fast interval pre-check for conjunctions of comparison atoms
+   (:mod:`repro.symbex.interval`),
+3. bit-blasting of the remaining formula to CNF
+   (:mod:`repro.symbex.solver.bitblast`),
+4. a CDCL SAT solver (:mod:`repro.symbex.solver.sat`),
+5. model extraction and independent verification
+   (:mod:`repro.symbex.solver.model`).
+"""
+
+from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.symbex.solver.cnf import CNFBuilder
+from repro.symbex.solver.bitblast import BitBlaster
+from repro.symbex.solver.model import extract_model, verify_model
+from repro.symbex.solver.solver import SatResult, Solver, SolverConfig, SolverStats
+
+__all__ = [
+    "SATSolver",
+    "SATStatus",
+    "CNFBuilder",
+    "BitBlaster",
+    "extract_model",
+    "verify_model",
+    "SatResult",
+    "Solver",
+    "SolverConfig",
+    "SolverStats",
+]

@@ -1,0 +1,76 @@
+"""Model extraction and verification.
+
+After the SAT backend reports SAT, the bit-level assignment is folded back
+into per-variable integers.  Because the whole pipeline (simplification,
+interval analysis, bit-blasting, CDCL) is home-grown, every model is
+re-verified by concrete evaluation of the original constraints before it is
+returned to callers — a cheap, independent soundness check that turns silent
+solver bugs into loud errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.errors import SolverError
+from repro.symbex.expr import BoolExpr, collect_variables
+from repro.symbex.simplify import evaluate_bool
+from repro.symbex.solver.bitblast import BitBlaster
+from repro.symbex.solver.sat import SATSolver
+
+__all__ = ["extract_model", "verify_model", "complete_model"]
+
+
+def extract_model(blaster: BitBlaster, sat: SATSolver) -> Dict[str, int]:
+    """Read back per-variable integer values from the SAT assignment."""
+
+    model: Dict[str, int] = {}
+    for name, bits in blaster.variable_bits().items():
+        value = 0
+        for index, lit in enumerate(bits):
+            var = abs(lit)
+            bit_value = sat.model_value(var)
+            if lit < 0:
+                bit_value = not bit_value
+            if bit_value:
+                value |= 1 << index
+        model[name] = value
+    return model
+
+
+def complete_model(model: Mapping[str, int], constraints: Iterable[BoolExpr],
+                   default: int = 0) -> Dict[str, int]:
+    """Extend *model* with a default value for variables it does not bind.
+
+    Constraints that only mention variables eliminated by simplification can
+    otherwise leave holes in the assignment, which would make concrete replay
+    of generated test cases impossible.
+    """
+
+    completed = dict(model)
+    for constraint in constraints:
+        for name in collect_variables(constraint):
+            completed.setdefault(name, default)
+    return completed
+
+
+def verify_model(model: Mapping[str, int], constraints: Iterable[BoolExpr]) -> bool:
+    """True when *model* satisfies every constraint under concrete evaluation."""
+
+    constraints = list(constraints)
+    completed = complete_model(model, constraints)
+    return all(evaluate_bool(constraint, completed) for constraint in constraints)
+
+
+def require_verified(model: Mapping[str, int], constraints: Iterable[BoolExpr]) -> Dict[str, int]:
+    """Return a completed model or raise :class:`SolverError` if it fails verification."""
+
+    constraints = list(constraints)
+    completed = complete_model(model, constraints)
+    for constraint in constraints:
+        if not evaluate_bool(constraint, completed):
+            raise SolverError(
+                "solver returned a model that does not satisfy %r — this is a bug "
+                "in the decision procedure" % (constraint,)
+            )
+    return completed

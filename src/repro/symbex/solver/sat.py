@@ -1,0 +1,394 @@
+"""A CDCL SAT solver.
+
+This is the boolean backend of the bit-vector decision procedure.  It is a
+classic conflict-driven clause-learning solver with:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis and clause learning,
+* VSIDS-style variable activities with exponential decay,
+* non-chronological backjumping,
+* geometric restarts,
+* an optional conflict budget so callers can bound worst-case work.
+
+Literals use the DIMACS convention: variable ``v`` (a positive integer) has the
+positive literal ``v`` and the negative literal ``-v``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SolverError
+
+__all__ = ["SATSolver", "SATStatus"]
+
+
+class SATStatus:
+    """Tri-state result of a SAT query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SATSolver:
+    """Conflict-driven clause-learning SAT solver."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        # watches[lit] lists clauses currently watching literal `lit`.
+        self._watches: Dict[int, List[_Clause]] = {}
+        # assignment[var] is None / True / False.
+        self._assignment: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._polarity: List[bool] = [False]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._root_conflict = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable (a positive integer)."""
+
+        self._num_vars += 1
+        self._assignment.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SolverError("literal %d references an unallocated variable" % (lit,))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value is True and self._level[abs(lit)] == 0:
+                return True  # already satisfied at the root
+            if value is False and self._level[abs(lit)] == 0:
+                continue  # literal is dead at the root
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._root_conflict = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._root_conflict = True
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._root_conflict = True
+                return False
+            return True
+        c = _Clause(clause)
+        self._clauses.append(c)
+        self._watch(c)
+        return True
+
+    def _watch(self, clause: _Clause) -> None:
+        for lit in clause.literals[:2]:
+            self._watches.setdefault(lit, []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> Optional[bool]:
+        value = self._assignment[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assignment[var] = lit > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._polarity[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+
+        head = len(self._trail) - 1
+        # We re-scan from the last unpropagated literal.  The queue pointer is
+        # maintained implicitly through _qhead.
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            new_watchers: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                if conflict is not None:
+                    new_watchers.append(clause)
+                    continue
+                literals = clause.literals
+                # Ensure the false literal is in position 1.
+                if literals[0] == false_lit:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) is True:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for position in range(2, len(literals)):
+                    candidate = literals[position]
+                    if self._value(candidate) is not False:
+                        literals[1], literals[position] = literals[position], literals[1]
+                        self._watches.setdefault(candidate, []).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(clause)
+                if self._value(first) is False:
+                    conflict = clause
+                else:
+                    self._enqueue(first, clause)
+            self._watches[false_lit] = new_watchers
+            if conflict is not None:
+                return conflict
+        del head
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _analyze(self, conflict: _Clause) -> (List[int], int):
+        """First-UIP conflict analysis; returns (learned clause, backjump level)."""
+
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = None
+        reason: Optional[_Clause] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None, "decision literal reached without UIP"
+            for clause_lit in reason.literals:
+                if lit is not None and clause_lit == lit:
+                    continue
+                var = abs(clause_lit)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(clause_lit)
+            # Find the next literal on the trail to resolve on.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            lit = self._trail[trail_index]
+            var = abs(lit)
+            seen[var] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            reason = self._reason[var]
+
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            # Backjump to the second highest level in the learned clause.
+            levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+            backjump = levels[0]
+            # Move a literal of that level to position 1 for watching.
+            for position in range(1, len(learned)):
+                if self._level[abs(learned[position])] == backjump:
+                    learned[1], learned[position] = learned[position], learned[1]
+                    break
+        return learned, backjump
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._assignment[var] = None
+            self._reason[var] = None
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assignment[var] is None and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
+        """Solve the formula; returns one of the :class:`SATStatus` constants.
+
+        *assumptions* are literals forced at the start of the search (they act
+        like temporary unit clauses).  When *max_conflicts* is given and
+        exhausted, ``UNKNOWN`` is returned.
+        """
+
+        if self._root_conflict:
+            return SATStatus.UNSAT
+
+        self._qhead = 0
+        self._backtrack(0)
+        self._qhead = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return SATStatus.UNSAT
+
+        # Apply assumptions as decisions at successive levels.
+        for lit in assumptions:
+            if self._value(lit) is True:
+                continue
+            if self._value(lit) is False:
+                return SATStatus.UNSAT
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._backtrack(0)
+                return SATStatus.UNSAT
+        assumption_level = self._decision_level()
+
+        restart_limit = 100
+        conflicts_since_restart = 0
+        total_budget = max_conflicts
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if total_budget is not None and self.conflicts > total_budget:
+                    self._backtrack(0)
+                    return SATStatus.UNKNOWN
+                if self._decision_level() <= assumption_level:
+                    self._backtrack(0)
+                    return SATStatus.UNSAT
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, assumption_level))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._backtrack(0)
+                        return SATStatus.UNSAT
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._clauses.append(clause)
+                    self._watch(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay()
+            else:
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(assumption_level)
+                    continue
+                var = self._pick_branch_variable()
+                if var is None:
+                    return SATStatus.SAT
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                polarity = self._polarity[var]
+                self._enqueue(var if polarity else -var, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, var: int) -> bool:
+        """Value of *var* in the satisfying assignment (False if unassigned)."""
+
+        value = self._assignment[var]
+        return bool(value)
+
+    def model(self) -> Dict[int, bool]:
+        """Return the full satisfying assignment as ``{var: bool}``."""
+
+        return {
+            var: bool(self._assignment[var])
+            for var in range(1, self._num_vars + 1)
+            if self._assignment[var] is not None
+        }
+
+    # Internal: propagation queue head (index into the trail).
+    _qhead = 0

@@ -1,0 +1,232 @@
+"""Solver front-end: the STP replacement used by the rest of the library.
+
+The :class:`Solver` answers satisfiability queries over lists of boolean
+constraints (implicitly conjoined).  The pipeline is:
+
+1. simplify every constraint (constant folding may already decide the query),
+2. run the interval pre-check; a verified candidate model short-circuits SAT,
+3. bit-blast the remaining constraints and run the CDCL SAT solver,
+4. extract the model, verify it by concrete evaluation and return it.
+
+Queries are cached on the structural keys of the (sorted) constraints, which
+matters for the crosscheck phase where many grouped conditions share clauses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+from repro.symbex.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    FALSE,
+    TRUE,
+    collect_variables,
+)
+from repro.symbex.interval import analyze_conjunction
+from repro.symbex.simplify import simplify_bool
+from repro.symbex.solver.bitblast import BitBlaster
+from repro.symbex.solver.cnf import CNFBuilder
+from repro.symbex.solver.model import complete_model, extract_model, require_verified
+from repro.symbex.solver.sat import SATSolver, SATStatus
+
+__all__ = ["Solver", "SolverConfig", "SolverStats", "SatResult"]
+
+
+@dataclass
+class SolverConfig:
+    """Tunable knobs of the decision procedure."""
+
+    #: Maximum number of CDCL conflicts per query before giving up (None = unlimited).
+    max_conflicts: Optional[int] = 200_000
+    #: Whether to run the interval pre-check before bit-blasting.
+    use_interval_precheck: bool = True
+    #: Whether to cache query results keyed on constraint structure.
+    use_cache: bool = True
+    #: Verify every SAT model by concrete evaluation (cheap; keep on).
+    verify_models: bool = True
+
+
+@dataclass
+class SolverStats:
+    """Aggregate statistics across all queries issued to one :class:`Solver`."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    cache_hits: int = 0
+    interval_decides: int = 0
+    sat_backend_runs: int = 0
+    total_time: float = 0.0
+    sat_backend_time: float = 0.0
+    max_query_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "cache_hits": self.cache_hits,
+            "interval_decides": self.interval_decides,
+            "sat_backend_runs": self.sat_backend_runs,
+            "total_time": self.total_time,
+            "sat_backend_time": self.sat_backend_time,
+            "max_query_time": self.max_query_time,
+        }
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability query."""
+
+    status: str
+    model: Dict[str, int] = field(default_factory=dict)
+    time: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SATStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == SATStatus.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == SATStatus.UNKNOWN
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "SatResult(%s, model=%r)" % (self.status, self.model)
+
+
+class Solver:
+    """The decision procedure used by both the engine and the crosscheck phase."""
+
+    def __init__(self, config: SolverConfig = None) -> None:
+        self.config = config if config is not None else SolverConfig()
+        self.stats = SolverStats()
+        self._cache: Dict[Tuple[tuple, ...], SatResult] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def check(self, constraints: Iterable[BoolExpr]) -> SatResult:
+        """Decide satisfiability of the conjunction of *constraints*."""
+
+        started = time.perf_counter()
+        constraints = [self._coerce(c) for c in constraints]
+        result = self._check_inner(constraints)
+        elapsed = time.perf_counter() - started
+        result.time = elapsed
+        self.stats.queries += 1
+        self.stats.total_time += elapsed
+        self.stats.max_query_time = max(self.stats.max_query_time, elapsed)
+        if result.is_sat:
+            self.stats.sat += 1
+        elif result.is_unsat:
+            self.stats.unsat += 1
+        else:
+            self.stats.unknown += 1
+        return result
+
+    def is_satisfiable(self, constraints: Iterable[BoolExpr]) -> bool:
+        """Convenience wrapper; raises on an inconclusive answer."""
+
+        result = self.check(constraints)
+        if result.is_unknown:
+            raise SolverError("solver gave up on the query (conflict budget exhausted)")
+        return result.is_sat
+
+    def get_model(self, constraints: Iterable[BoolExpr]) -> Optional[Dict[str, int]]:
+        """Return a satisfying assignment or None when unsatisfiable."""
+
+        result = self.check(constraints)
+        if result.is_unknown:
+            raise SolverError("solver gave up on the query (conflict budget exhausted)")
+        return dict(result.model) if result.is_sat else None
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(constraint: object) -> BoolExpr:
+        if isinstance(constraint, BoolExpr):
+            return constraint
+        if isinstance(constraint, bool):
+            return TRUE if constraint else FALSE
+        raise SolverError("constraints must be BoolExpr instances, got %r" % (constraint,))
+
+    def _check_inner(self, constraints: List[BoolExpr]) -> SatResult:
+        simplified: List[BoolExpr] = []
+        for constraint in constraints:
+            reduced = simplify_bool(constraint)
+            if isinstance(reduced, BoolConst):
+                if not reduced.value:
+                    return SatResult(SATStatus.UNSAT)
+                continue
+            # Conjunctions can be split so the interval pre-check sees atoms.
+            if isinstance(reduced, BoolAnd):
+                simplified.extend(reduced.operands)
+            else:
+                simplified.append(reduced)
+
+        if not simplified:
+            return SatResult(SATStatus.SAT, model={})
+
+        cache_key: Optional[Tuple[tuple, ...]] = None
+        if self.config.use_cache:
+            cache_key = tuple(sorted(c.key() for c in simplified))
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return SatResult(cached.status, dict(cached.model))
+
+        result = self._decide(simplified)
+
+        if cache_key is not None:
+            self._cache[cache_key] = SatResult(result.status, dict(result.model))
+        return result
+
+    def _decide(self, constraints: List[BoolExpr]) -> SatResult:
+        if self.config.use_interval_precheck:
+            outcome = analyze_conjunction(constraints)
+            if outcome.is_unsat:
+                self.stats.interval_decides += 1
+                return SatResult(SATStatus.UNSAT)
+            if outcome.verified:
+                self.stats.interval_decides += 1
+                model = complete_model(outcome.candidate, constraints)
+                return SatResult(SATStatus.SAT, model=model)
+
+        return self._decide_with_sat(constraints)
+
+    def _decide_with_sat(self, constraints: List[BoolExpr]) -> SatResult:
+        started = time.perf_counter()
+        self.stats.sat_backend_runs += 1
+        sat = SATSolver()
+        cnf = CNFBuilder(sat)
+        blaster = BitBlaster(cnf)
+        for constraint in constraints:
+            blaster.assert_bool(constraint)
+        status = sat.solve(max_conflicts=self.config.max_conflicts)
+        self.stats.sat_backend_time += time.perf_counter() - started
+
+        if status == SATStatus.UNSAT:
+            return SatResult(SATStatus.UNSAT)
+        if status == SATStatus.UNKNOWN:
+            return SatResult(SATStatus.UNKNOWN)
+
+        model = extract_model(blaster, sat)
+        if self.config.verify_models:
+            model = require_verified(model, constraints)
+        else:
+            model = complete_model(model, constraints)
+        return SatResult(SATStatus.SAT, model=model)

@@ -1,0 +1,158 @@
+"""Per-path execution state.
+
+A :class:`PathState` is handed to the program under test for every explored
+path.  It carries the accumulated *path condition*, the list of branch
+decisions taken so far, and a free-form event log that the test harness uses
+to record externally observable outputs (OpenFlow messages, data-plane
+packets, crashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConcretizationError, EngineError
+from repro.symbex.expr import (
+    BoolConst,
+    BoolExpr,
+    BVExpr,
+    BVVar,
+    bool_and,
+    bvvar,
+    collect_variables,
+    expr_size,
+)
+
+__all__ = ["PathCondition", "PathState"]
+
+
+class PathCondition:
+    """An ordered conjunction of boolean constraints."""
+
+    def __init__(self, constraints: Optional[List[BoolExpr]] = None) -> None:
+        self._constraints: List[BoolExpr] = list(constraints or [])
+
+    def add(self, constraint: BoolExpr) -> None:
+        """Append a constraint (constant ``true`` is dropped)."""
+
+        if isinstance(constraint, BoolConst) and constraint.value:
+            return
+        self._constraints.append(constraint)
+
+    def constraints(self) -> List[BoolExpr]:
+        """Return a copy of the constraint list."""
+
+        return list(self._constraints)
+
+    def to_expr(self) -> BoolExpr:
+        """The conjunction of all constraints as a single expression."""
+
+        return bool_and(True, *self._constraints) if self._constraints else BoolConst(True)
+
+    def copy(self) -> "PathCondition":
+        return PathCondition(self._constraints)
+
+    def size(self) -> int:
+        """Total number of operator nodes across all constraints.
+
+        This is the "constraint size" metric reported in Table 2 of the paper.
+        """
+
+        return sum(expr_size(c) for c in self._constraints)
+
+    def variables(self) -> Dict[str, int]:
+        """Mapping of every free variable name to its width."""
+
+        merged: Dict[str, int] = {}
+        for constraint in self._constraints:
+            merged.update(collect_variables(constraint))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "PathCondition(%d constraints)" % len(self._constraints)
+
+
+@dataclass
+class PathState:
+    """Mutable state of a single explored path."""
+
+    path_id: int
+    condition: PathCondition = field(default_factory=PathCondition)
+    decisions: List[bool] = field(default_factory=list)
+    events: List[Any] = field(default_factory=list)
+    #: Names and widths of the symbolic inputs created through new_symbol().
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: Arbitrary per-path scratch storage for the program under test.
+    data: Dict[str, Any] = field(default_factory=dict)
+    _engine: Any = None
+
+    # -- symbolic inputs ------------------------------------------------------
+
+    def new_symbol(self, name: str, width: int) -> BVVar:
+        """Create (or re-create, deterministically) a named symbolic input.
+
+        The same name must map to the same width on every path; exploration
+        re-runs the program once per path and input names are the join points
+        between paths.
+        """
+
+        existing = self.symbols.get(name)
+        if existing is not None and existing != width:
+            raise EngineError(
+                "symbolic input %r created with widths %d and %d" % (name, existing, width)
+            )
+        self.symbols[name] = width
+        return bvvar(name, width)
+
+    # -- constraints -----------------------------------------------------------
+
+    def assume(self, constraint: BoolExpr) -> None:
+        """Add *constraint* to the path condition without branching.
+
+        Used by the harness to encode input well-formedness (e.g. "the message
+        length field equals the concrete length we serialized").
+        """
+
+        if isinstance(constraint, bool):
+            if constraint:
+                return
+            raise EngineError("assumed a concretely false constraint")
+        self.condition.add(constraint)
+
+    def record_event(self, event: Any) -> None:
+        """Append an externally observable event to the path's output log."""
+
+        self.events.append(event)
+
+    # -- concretization -----------------------------------------------------------
+
+    def concretize(self, value: BVExpr, hint: Optional[int] = None) -> int:
+        """Pin *value* to a single concrete integer consistent with the path.
+
+        The engine asks the solver for a model of the current path condition
+        and constrains ``value == model(value)`` so subsequent execution on
+        this path is consistent.  Use sparingly — every concretization may
+        hide behaviours (the paper's §5.3 quantifies the coverage cost).
+        """
+
+        if self._engine is None:
+            raise ConcretizationError("no engine attached to this path state")
+        return self._engine.concretize_in_state(self, value, hint=hint)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of symbolic branch decisions taken so far."""
+
+        return len(self.decisions)
+
+    def snapshot(self) -> Tuple[Tuple[bool, ...], int]:
+        return tuple(self.decisions), len(self.condition)

@@ -1,0 +1,7 @@
+"""Single source of truth for the package version."""
+
+__version__ = "1.0.0"
+
+#: Version of the OpenFlow specification the protocol substrate implements.
+OPENFLOW_WIRE_VERSION = 0x01
+OPENFLOW_SPEC_VERSION = "1.0.0"

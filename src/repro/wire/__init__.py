@@ -1,0 +1,17 @@
+"""Symbolic-aware wire format substrate.
+
+OpenFlow agents parse byte buffers received from the control channel and the
+data plane.  To let *symbolic* message fields flow through the agents' parsing
+and validation code unchanged, buffers are modelled as sequences of 8-bit
+values where each byte is either a concrete ``int`` or an 8-bit symbolic
+bit-vector.  Multi-byte reads concatenate bytes into wider expressions (and
+simplify back to the original field variable when possible), so a field that
+the test harness made symbolic re-emerges on the agent side as the very same
+variable — exactly the property the Cloud9 POSIX model gave the original SOFT
+prototype.
+"""
+
+from repro.wire.buffer import SymBuffer
+from repro.wire.fields import as_field, field_equals, field_int, is_symbolic_field
+
+__all__ = ["SymBuffer", "as_field", "field_equals", "field_int", "is_symbolic_field"]

@@ -1,0 +1,215 @@
+"""Byte buffers whose individual bytes may be symbolic.
+
+A :class:`SymBuffer` behaves like an immutable-width, mutable-content byte
+array.  Every byte is either a Python ``int`` in ``[0, 255]`` or an 8-bit
+:class:`~repro.symbex.expr.BVExpr`.  Network byte order (big endian) is used
+throughout — both the harness' writers and the agents' readers use this module
+so there is no double byte-shuffling, mirroring the paper's neutralization of
+``ntohs``/``htons`` (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.errors import PacketError
+from repro.symbex.expr import BVConst, BVExpr, bv, concat, extract
+
+__all__ = ["SymBuffer", "ByteLike"]
+
+ByteLike = Union[int, BVExpr]
+
+
+def _check_byte(value: ByteLike) -> ByteLike:
+    if isinstance(value, bool):
+        raise PacketError("refusing to store a Python bool as a byte")
+    if isinstance(value, int):
+        if not 0 <= value <= 0xFF:
+            raise PacketError("byte value %r out of range" % (value,))
+        return value
+    if isinstance(value, BVExpr):
+        if value.width != 8:
+            raise PacketError("symbolic byte must be 8 bits wide, got %d" % value.width)
+        if isinstance(value, BVConst):
+            return value.value
+        return value
+    raise PacketError("cannot store %r in a byte buffer" % (value,))
+
+
+class SymBuffer:
+    """A growable byte buffer supporting concrete and symbolic bytes."""
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, data: Union[bytes, Iterable[ByteLike], None] = None) -> None:
+        self._bytes: List[ByteLike] = []
+        if data is not None:
+            if isinstance(data, (bytes, bytearray)):
+                self._bytes.extend(data)
+            elif isinstance(data, SymBuffer):
+                self._bytes.extend(data._bytes)
+            else:
+                for value in data:
+                    self._bytes.append(_check_byte(value))
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            view = SymBuffer()
+            view._bytes = self._bytes[index]
+            return view
+        return self._bytes[index]
+
+    def __iter__(self):
+        return iter(self._bytes)
+
+    def __add__(self, other: "SymBuffer") -> "SymBuffer":
+        result = SymBuffer()
+        result._bytes = list(self._bytes)
+        if isinstance(other, SymBuffer):
+            result._bytes.extend(other._bytes)
+        elif isinstance(other, (bytes, bytearray)):
+            result._bytes.extend(other)
+        else:
+            raise PacketError("cannot concatenate SymBuffer with %r" % (other,))
+        return result
+
+    def copy(self) -> "SymBuffer":
+        clone = SymBuffer()
+        clone._bytes = list(self._bytes)
+        return clone
+
+    @property
+    def is_concrete(self) -> bool:
+        """True when every byte is a plain integer."""
+
+        return all(isinstance(b, int) for b in self._bytes)
+
+    def to_bytes(self) -> bytes:
+        """Return concrete ``bytes``; raises if any byte is symbolic."""
+
+        if not self.is_concrete:
+            raise PacketError("buffer contains symbolic bytes and cannot be concretized")
+        return bytes(self._bytes)  # type: ignore[arg-type]
+
+    def symbolic_byte_count(self) -> int:
+        return sum(1 for b in self._bytes if not isinstance(b, int))
+
+    # ------------------------------------------------------------------
+    # Writers (big endian)
+    # ------------------------------------------------------------------
+
+    def write_u8(self, value: Union[int, BVExpr]) -> "SymBuffer":
+        self._write_uint(value, 1)
+        return self
+
+    def write_u16(self, value: Union[int, BVExpr]) -> "SymBuffer":
+        self._write_uint(value, 2)
+        return self
+
+    def write_u32(self, value: Union[int, BVExpr]) -> "SymBuffer":
+        self._write_uint(value, 4)
+        return self
+
+    def write_u64(self, value: Union[int, BVExpr]) -> "SymBuffer":
+        self._write_uint(value, 8)
+        return self
+
+    def write_bytes(self, data: Union[bytes, "SymBuffer", Iterable[ByteLike]]) -> "SymBuffer":
+        if isinstance(data, SymBuffer):
+            self._bytes.extend(data._bytes)
+        elif isinstance(data, (bytes, bytearray)):
+            self._bytes.extend(data)
+        else:
+            for value in data:
+                self._bytes.append(_check_byte(value))
+        return self
+
+    def pad(self, count: int, fill: int = 0) -> "SymBuffer":
+        """Append *count* concrete fill bytes."""
+
+        if count < 0:
+            raise PacketError("cannot pad by a negative amount")
+        self._bytes.extend([fill] * count)
+        return self
+
+    def _write_uint(self, value: Union[int, BVExpr], size: int) -> None:
+        width = size * 8
+        if isinstance(value, bool):
+            raise PacketError("refusing to serialize a Python bool")
+        if isinstance(value, int):
+            if value < 0 or value >= (1 << width):
+                raise PacketError("value %r does not fit in %d bytes" % (value, size))
+            for shift in range(size - 1, -1, -1):
+                self._bytes.append((value >> (shift * 8)) & 0xFF)
+            return
+        if isinstance(value, BVExpr):
+            expr = bv(value, width)
+            for shift in range(size - 1, -1, -1):
+                self._bytes.append(_check_byte(extract(expr, shift * 8 + 7, shift * 8)))
+            return
+        raise PacketError("cannot serialize %r" % (value,))
+
+    # ------------------------------------------------------------------
+    # Readers (big endian)
+    # ------------------------------------------------------------------
+
+    def read_u8(self, offset: int) -> ByteLike:
+        return self._read_uint(offset, 1)
+
+    def read_u16(self, offset: int) -> ByteLike:
+        return self._read_uint(offset, 2)
+
+    def read_u32(self, offset: int) -> ByteLike:
+        return self._read_uint(offset, 4)
+
+    def read_u64(self, offset: int) -> ByteLike:
+        return self._read_uint(offset, 8)
+
+    def read_bytes(self, offset: int, length: int) -> "SymBuffer":
+        self._check_range(offset, length)
+        return self[offset:offset + length]
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > len(self._bytes):
+            raise PacketError(
+                "read of %d bytes at offset %d exceeds buffer of %d bytes"
+                % (length, offset, len(self._bytes))
+            )
+
+    def _read_uint(self, offset: int, size: int) -> ByteLike:
+        self._check_range(offset, size)
+        chunk = self._bytes[offset:offset + size]
+        if all(isinstance(b, int) for b in chunk):
+            value = 0
+            for byte in chunk:
+                value = (value << 8) | byte  # type: ignore[operator]
+            return value
+        parts = []
+        for byte in chunk:
+            parts.append(bv(byte, 8) if isinstance(byte, int) else byte)
+        result = concat(*parts)
+        if isinstance(result, BVConst):
+            return result.value
+        return result
+
+    # ------------------------------------------------------------------
+    # Debugging helpers
+    # ------------------------------------------------------------------
+
+    def hex(self) -> str:
+        """Hex dump with ``??`` marking symbolic bytes."""
+
+        rendered = []
+        for byte in self._bytes:
+            rendered.append("%02x" % byte if isinstance(byte, int) else "??")
+        return "".join(rendered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "SymBuffer(%d bytes, %d symbolic)" % (len(self), self.symbolic_byte_count())

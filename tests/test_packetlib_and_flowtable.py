@@ -1,0 +1,234 @@
+"""Tests for the packet library, flow-key extraction and the flow table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.agents.common.buffers import PacketBufferPool
+from repro.agents.common.flowtable import (
+    FlowEntry,
+    FlowTable,
+    match_covers_key,
+    match_is_exact,
+    match_subsumes,
+)
+from repro.agents.common.ports import SwitchPortSet
+from repro.openflow import constants as c
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.packetlib.builder import (
+    build_arp_packet,
+    build_ethernet_frame,
+    build_tcp_packet,
+    build_udp_packet,
+    build_vlan_tcp_packet,
+)
+from repro.packetlib.flowkey import FlowKey, extract_flow_key
+from repro.packetlib.headers import EthernetHeader, Ipv4Header, TcpHeader
+
+
+# ---------------------------------------------------------------------------
+# Packet builders and flow-key extraction
+# ---------------------------------------------------------------------------
+
+def test_tcp_packet_flow_key():
+    frame = build_tcp_packet(nw_src=0x0A000001, nw_dst=0x0A000002, tp_src=1111, tp_dst=80)
+    key = extract_flow_key(frame, in_port=5)
+    assert key.in_port == 5
+    assert key.dl_type == c.ETH_TYPE_IP
+    assert key.nw_proto == c.IPPROTO_TCP
+    assert key.nw_src == 0x0A000001 and key.nw_dst == 0x0A000002
+    assert key.tp_src == 1111 and key.tp_dst == 80
+    assert key.dl_vlan == c.OFP_VLAN_NONE
+
+
+def test_udp_and_arp_flow_keys():
+    udp_key = extract_flow_key(build_udp_packet(tp_src=53, tp_dst=5353), 1)
+    assert udp_key.nw_proto == c.IPPROTO_UDP and udp_key.tp_src == 53
+    arp_key = extract_flow_key(build_arp_packet(opcode=2), 2)
+    assert arp_key.dl_type == c.ETH_TYPE_ARP and arp_key.nw_proto == 2
+
+
+def test_vlan_packet_flow_key():
+    frame = build_vlan_tcp_packet(vid=100, pcp=3)
+    key = extract_flow_key(frame, 1)
+    assert key.dl_vlan == 100
+    assert key.dl_vlan_pcp == 3
+    assert key.dl_type == c.ETH_TYPE_IP
+    assert key.nw_proto == c.IPPROTO_TCP
+
+
+def test_plain_ethernet_flow_key():
+    frame = build_ethernet_frame(dl_type=0x88B5)
+    key = extract_flow_key(frame, 7)
+    assert key.dl_type == 0x88B5
+    assert key.nw_proto == 0 and key.tp_src == 0
+
+
+def test_header_roundtrips():
+    eth = EthernetHeader(dl_dst=0x010203040506, dl_src=0x0A0B0C0D0E0F, dl_type=0x0800)
+    assert EthernetHeader.unpack(eth.pack()).dl_src == 0x0A0B0C0D0E0F
+    ip = Ipv4Header(tos=0x10, total_length=40, protocol=6, src=1, dst=2)
+    parsed_ip = Ipv4Header.unpack(ip.pack(), 0)
+    assert parsed_ip.tos == 0x10 and parsed_ip.src == 1 and parsed_ip.dst == 2
+    tcp = TcpHeader(src_port=10, dst_port=20)
+    parsed_tcp = TcpHeader.unpack(tcp.pack(), 0)
+    assert parsed_tcp.src_port == 10 and parsed_tcp.dst_port == 20
+
+
+def test_extract_flow_key_rejects_short_frame():
+    from repro.errors import PacketParseError
+    from repro.wire.buffer import SymBuffer
+
+    with pytest.raises(PacketParseError):
+        extract_flow_key(SymBuffer(b"\x00" * 4), 1)
+
+
+def test_flow_key_describe_normalizes_symbolic_fields():
+    from repro.symbex.expr import bvvar
+
+    key = FlowKey(in_port=1, tp_src=bvvar("s", 16))
+    assert "tp_src=*" in key.describe()
+    assert "in_port=1" in key.describe()
+
+
+# ---------------------------------------------------------------------------
+# Flow table matching
+# ---------------------------------------------------------------------------
+
+def _probe_key(tp_dst=80, in_port=1):
+    return extract_flow_key(build_tcp_packet(tp_dst=tp_dst), in_port)
+
+
+def test_wildcard_all_matches_everything():
+    assert match_covers_key(Match.wildcard_all(), _probe_key())
+    assert match_covers_key(Match.wildcard_all(), extract_flow_key(build_arp_packet(), 9))
+
+
+def test_exact_match_requires_all_fields():
+    match = Match.exact_tcp(in_port=1, dl_src=0x00163E000001, dl_dst=0x00163E000002,
+                            nw_src=0x0A000001, nw_dst=0x0A000002, tp_src=1234, tp_dst=80)
+    assert match_covers_key(match, _probe_key(tp_dst=80))
+    assert not match_covers_key(match, _probe_key(tp_dst=81))
+    assert not match_covers_key(match, _probe_key(in_port=2))
+    assert match_is_exact(match)
+    assert not match_is_exact(Match.wildcard_all())
+
+
+def test_partial_wildcard_match():
+    match = Match(wildcards=c.OFPFW_ALL & ~c.OFPFW_TP_DST, tp_dst=80)
+    assert match_covers_key(match, _probe_key(tp_dst=80))
+    assert not match_covers_key(match, _probe_key(tp_dst=8080))
+
+
+def test_nw_prefix_wildcard_match():
+    wildcards = (c.OFPFW_ALL & ~c.OFPFW_NW_SRC_MASK) | (8 << c.OFPFW_NW_SRC_SHIFT)
+    match = Match(wildcards=wildcards, nw_src=0x0A000000)
+    key_same_net = extract_flow_key(build_tcp_packet(nw_src=0x0A0000FE), 1)
+    key_other_net = extract_flow_key(build_tcp_packet(nw_src=0x0B0000FE), 1)
+    assert match_covers_key(match, key_same_net)
+    assert not match_covers_key(match, key_other_net)
+
+
+def test_match_subsumes_relation():
+    everything = Match.wildcard_all()
+    specific = Match(wildcards=c.OFPFW_ALL & ~c.OFPFW_TP_DST, tp_dst=80)
+    assert match_subsumes(everything, specific)
+    assert not match_subsumes(specific, everything)
+    assert match_subsumes(specific, specific)
+
+
+def test_flow_table_lookup_priorities():
+    table = FlowTable()
+    low = FlowEntry(match=Match.wildcard_all(), priority=1,
+                    actions=[ActionOutput(port=10)])
+    high = FlowEntry(match=Match(wildcards=c.OFPFW_ALL & ~c.OFPFW_TP_DST, tp_dst=80),
+                     priority=100, actions=[ActionOutput(port=20)])
+    table.add(low)
+    table.add(high)
+    hit = table.lookup(_probe_key(tp_dst=80))
+    assert hit is high
+    miss_dst = table.lookup(_probe_key(tp_dst=22))
+    assert miss_dst is low
+
+
+def test_flow_table_exact_match_beats_wildcards():
+    table = FlowTable()
+    wildcard = FlowEntry(match=Match.wildcard_all(), priority=0xFFFF,
+                         actions=[ActionOutput(port=1)])
+    exact = FlowEntry(match=Match.exact_tcp(in_port=1, dl_src=0x00163E000001,
+                                            dl_dst=0x00163E000002, nw_src=0x0A000001,
+                                            nw_dst=0x0A000002, tp_src=1234, tp_dst=80),
+                      priority=1, actions=[ActionOutput(port=2)])
+    table.add(wildcard)
+    table.add(exact)
+    assert table.lookup(_probe_key(tp_dst=80)) is exact
+
+
+def test_flow_table_strict_and_nonstrict_selection():
+    table = FlowTable()
+    entry = FlowEntry(match=Match(wildcards=c.OFPFW_ALL & ~c.OFPFW_TP_DST, tp_dst=80),
+                      priority=5, actions=[ActionOutput(port=2)])
+    table.add(entry)
+    strict_hit = table.matching_entries(entry.match, strict=True, priority=5)
+    strict_miss = table.matching_entries(entry.match, strict=True, priority=6)
+    loose_hit = table.matching_entries(Match.wildcard_all(), strict=False)
+    assert strict_hit == [entry]
+    assert strict_miss == []
+    assert loose_hit == [entry]
+
+
+def test_flow_table_out_port_filter():
+    table = FlowTable()
+    to_two = FlowEntry(match=Match.wildcard_all(), priority=1, actions=[ActionOutput(port=2)])
+    to_three = FlowEntry(match=Match.wildcard_all(), priority=1, actions=[ActionOutput(port=3)])
+    table.add(to_two)
+    table.add(to_three)
+    selected = table.matching_entries(Match.wildcard_all(), strict=False, out_port=3)
+    assert selected == [to_three]
+
+
+def test_flow_table_emergency_entries_are_separate():
+    table = FlowTable()
+    normal = FlowEntry(match=Match.wildcard_all(), priority=1, actions=[])
+    emergency = FlowEntry(match=Match.wildcard_all(), priority=1, actions=[], emergency=True)
+    table.add(normal)
+    table.add(emergency)
+    assert len(table.entries()) == 1
+    assert len(table.entries(include_emergency=True)) == 2
+    assert len(table) == 2
+    table.remove(emergency)
+    assert len(table) == 1
+
+
+def test_flow_table_capacity():
+    table = FlowTable(capacity=2)
+    table.add(FlowEntry(match=Match.wildcard_all(), priority=1, actions=[]))
+    assert not table.is_full
+    table.add(FlowEntry(match=Match.wildcard_all(), priority=2, actions=[]))
+    assert table.is_full
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=0xFFFF))
+def test_prop_wildcarded_field_never_blocks_match(tp_dst_entry, tp_dst_probe):
+    match = Match(wildcards=c.OFPFW_ALL, tp_dst=tp_dst_entry)
+    assert match_covers_key(match, _probe_key(tp_dst=tp_dst_probe))
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_prop_port_set_membership(count):
+    ports = SwitchPortSet(count=count)
+    assert ports.contains(1)
+    assert ports.contains(count)
+    assert not ports.contains(count + 1)
+    assert not ports.contains(0)
+    assert len(ports.phy_ports()) == count
+
+
+def test_buffer_pool_store_and_find():
+    pool = PacketBufferPool(capacity=4)
+    frame = build_tcp_packet()
+    buffer_id = pool.store(frame)
+    assert pool.find(buffer_id) is frame
+    assert pool.find(9999) is None
+    assert pool.retrieve(buffer_id) is frame
+    assert pool.retrieve(buffer_id) is None

@@ -1,0 +1,269 @@
+"""Tests for the SAT backend, the bit-blaster and the solver front-end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.symbex.expr import FALSE, TRUE, bool_and, bool_not, bool_or, bv, bvvar, ite
+from repro.symbex.interval import analyze_conjunction
+from repro.symbex.simplify import evaluate_bool
+from repro.symbex.solver import SATSolver, SATStatus, Solver, SolverConfig
+from repro.symbex.solver.cnf import CNFBuilder
+
+
+# ---------------------------------------------------------------------------
+# CDCL SAT solver
+# ---------------------------------------------------------------------------
+
+def test_sat_empty_formula_is_sat():
+    assert SATSolver().solve() == SATStatus.SAT
+
+
+def test_sat_single_unit_clause():
+    solver = SATSolver()
+    a = solver.new_var()
+    solver.add_clause([a])
+    assert solver.solve() == SATStatus.SAT
+    assert solver.model_value(a) is True
+
+
+def test_sat_contradicting_units_unsat():
+    solver = SATSolver()
+    a = solver.new_var()
+    solver.add_clause([a])
+    assert solver.add_clause([-a]) is False
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_sat_simple_implication_chain():
+    solver = SATSolver()
+    a, b, d = solver.new_var(), solver.new_var(), solver.new_var()
+    solver.add_clause([-a, b])
+    solver.add_clause([-b, d])
+    solver.add_clause([a])
+    assert solver.solve() == SATStatus.SAT
+    assert solver.model_value(d) is True
+
+
+def test_sat_pigeonhole_2_into_1_unsat():
+    # Two pigeons, one hole: p1h1, p2h1 must both hold but conflict.
+    solver = SATSolver()
+    p1, p2 = solver.new_var(), solver.new_var()
+    solver.add_clause([p1])
+    solver.add_clause([p2])
+    solver.add_clause([-p1, -p2])
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_sat_xor_chain_satisfiable():
+    solver = SATSolver()
+    variables = [solver.new_var() for _ in range(6)]
+    # Encode pairwise "at least one differs" constraints.
+    for left, right in zip(variables, variables[1:]):
+        solver.add_clause([left, right])
+        solver.add_clause([-left, -right])
+    assert solver.solve() == SATStatus.SAT
+    model = solver.model()
+    for left, right in zip(variables, variables[1:]):
+        assert model[left] != model[right]
+
+
+def test_sat_assumptions():
+    solver = SATSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([-a, b])
+    assert solver.solve(assumptions=[a, -b]) == SATStatus.UNSAT
+    assert solver.solve(assumptions=[a, b]) == SATStatus.SAT
+    assert solver.solve() == SATStatus.SAT
+
+
+def test_sat_rejects_unallocated_literal():
+    solver = SATSolver()
+    with pytest.raises(SolverError):
+        solver.add_clause([5])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=-6, max_value=6).filter(lambda v: v != 0),
+                         min_size=1, max_size=4), min_size=1, max_size=18))
+def test_prop_sat_models_satisfy_random_formulas(clauses):
+    solver = SATSolver()
+    for _ in range(6):
+        solver.new_var()
+    trivially_unsat = False
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            trivially_unsat = True
+            break
+    status = solver.solve() if not trivially_unsat else SATStatus.UNSAT
+    if status == SATStatus.SAT:
+        model = solver.model()
+        for clause in clauses:
+            assert any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+
+# ---------------------------------------------------------------------------
+# CNF gate helpers
+# ---------------------------------------------------------------------------
+
+def test_cnf_gate_and_or_semantics():
+    cnf = CNFBuilder()
+    a, b = cnf.new_var(), cnf.new_var()
+    both = cnf.gate_and([a, b])
+    either = cnf.gate_or([a, b])
+    cnf.assert_true(a)
+    cnf.assert_false(b)
+    assert cnf.solver.solve() == SATStatus.SAT
+    assert cnf.solver.model_value(abs(both)) == (both > 0 and False) or True  # gate literal defined
+    # AND must be false, OR must be true under a=1, b=0.
+    model = cnf.solver.model()
+    assert (model[abs(both)] if both > 0 else not model[abs(both)]) is False
+    assert (model[abs(either)] if either > 0 else not model[abs(either)]) is True
+
+
+def test_cnf_gate_xor_and_ite():
+    cnf = CNFBuilder()
+    a, b = cnf.new_var(), cnf.new_var()
+    xor = cnf.gate_xor(a, b)
+    chosen = cnf.gate_ite(a, b, -b)
+    cnf.assert_true(a)
+    cnf.assert_true(b)
+    assert cnf.solver.solve() == SATStatus.SAT
+    model = cnf.solver.model()
+    assert (model[abs(xor)] if xor > 0 else not model[abs(xor)]) is False
+    assert (model[abs(chosen)] if chosen > 0 else not model[abs(chosen)]) is True
+
+
+def test_cnf_constants():
+    cnf = CNFBuilder()
+    assert cnf.const(True) == cnf.true_lit
+    assert cnf.const(False) == cnf.false_lit
+    assert cnf.gate_and([]) == cnf.true_lit
+    assert cnf.gate_or([cnf.false_lit, cnf.false_lit]) == cnf.false_lit
+
+
+# ---------------------------------------------------------------------------
+# Solver front-end (bit-vector queries)
+# ---------------------------------------------------------------------------
+
+def test_solver_trivial_queries():
+    solver = Solver()
+    assert solver.check([]).is_sat
+    assert solver.check([TRUE]).is_sat
+    assert solver.check([FALSE]).is_unsat
+
+
+def test_solver_simple_equation():
+    solver = Solver()
+    x = bvvar("x", 16)
+    result = solver.check([x + 3 == 10])
+    assert result.is_sat
+    assert result.model["x"] == 7
+
+
+def test_solver_unsat_range():
+    solver = Solver()
+    x = bvvar("x", 16)
+    assert solver.check([x < 5, x > 10]).is_unsat
+
+
+def test_solver_bitmask_constraint():
+    solver = Solver()
+    x = bvvar("x", 16)
+    result = solver.check([(x & 0x00FF) == 0x0042, x > 0x1000])
+    assert result.is_sat
+    assert result.model["x"] & 0xFF == 0x42
+    assert result.model["x"] > 0x1000
+
+
+def test_solver_disjunction():
+    solver = Solver()
+    x = bvvar("x", 8)
+    result = solver.check([bool_or(x == 3, x == 200), x > 100])
+    assert result.is_sat
+    assert result.model["x"] == 200
+
+
+def test_solver_multiplication():
+    solver = Solver()
+    x = bvvar("x", 8)
+    result = solver.check([x * 3 == 30, x < 50])
+    assert result.is_sat
+    assert (result.model["x"] * 3) & 0xFF == 30
+
+
+def test_solver_ite_constraint():
+    solver = Solver()
+    x, y = bvvar("x", 8), bvvar("y", 8)
+    constraint = ite(x == 1, y, bv(0, 8)) == 7
+    result = solver.check([constraint])
+    assert result.is_sat
+    assert result.model["x"] == 1 and result.model["y"] == 7
+
+
+def test_solver_signed_comparison():
+    solver = Solver()
+    x = bvvar("x", 8)
+    result = solver.check([x.slt(0), x > 0x80])
+    assert result.is_sat
+    assert result.model["x"] > 0x80
+
+
+def test_solver_extract_concat_constraints():
+    solver = Solver()
+    x = bvvar("x", 16)
+    result = solver.check([x.extract(15, 8) == 0xAB, x.extract(7, 0) == 0xCD])
+    assert result.is_sat
+    assert result.model["x"] == 0xABCD
+
+
+def test_solver_cache_hits():
+    solver = Solver()
+    x = bvvar("x", 16)
+    solver.check([x == 4])
+    solver.check([x == 4])
+    assert solver.stats.cache_hits >= 1
+
+
+def test_solver_model_verification_is_on_by_default():
+    assert SolverConfig().verify_models is True
+
+
+def test_solver_symbolic_shift():
+    solver = Solver()
+    x, s = bvvar("x", 16), bvvar("s", 16)
+    result = solver.check([(bv(1, 16) << s) == 8, s < 16, x == (bv(0xFFFF, 16) >> s)])
+    assert result.is_sat
+    assert result.model["s"] == 3
+    assert result.model["x"] == 0xFFFF >> 3
+
+
+def test_interval_precheck_unsat_detected_without_sat_backend():
+    solver = Solver()
+    x = bvvar("x", 16)
+    before = solver.stats.sat_backend_runs
+    assert solver.check([x > 10, x < 5]).is_unsat
+    assert solver.stats.sat_backend_runs == before
+
+
+def test_interval_analysis_direct():
+    x = bvvar("x", 16)
+    outcome = analyze_conjunction([x > 4, x < 10, x != 7])
+    assert not outcome.is_unsat
+    assert outcome.verified
+    assert 4 < outcome.candidate["x"] < 10 and outcome.candidate["x"] != 7
+    assert analyze_conjunction([x < 3, x > 3]).is_unsat
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=0xFFFF))
+def test_prop_solver_models_satisfy_constraints(a, b):
+    solver = Solver()
+    x, y = bvvar("x", 16), bvvar("y", 16)
+    constraints = [x > min(a, b), y <= max(a, b), (x ^ y) != 0]
+    result = solver.check(constraints)
+    if result.is_sat:
+        assert all(evaluate_bool(constraint, result.model) for constraint in constraints)
+    else:
+        # Only possible when the range is empty, i.e. min == 0xFFFF.
+        assert min(a, b) == 0xFFFF

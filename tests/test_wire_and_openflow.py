@@ -1,0 +1,279 @@
+"""Tests for the wire buffer, OpenFlow messages, actions and match structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MessageParseError, PacketError
+from repro.openflow import constants as c
+from repro.openflow.actions import (
+    ActionEnqueue,
+    ActionOutput,
+    ActionSetDlDst,
+    ActionSetNwTos,
+    ActionSetVlanVid,
+    ActionStripVlan,
+    RawAction,
+    pack_actions,
+    unpack_actions,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierRequest,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FlowMod,
+    Hello,
+    PacketIn,
+    PacketOut,
+    PhyPort,
+    QueueGetConfigRequest,
+    SetConfig,
+    StatsRequest,
+)
+from repro.openflow.parser import parse_header, parse_message
+from repro.symbex.expr import BVVar, bvvar
+from repro.wire.buffer import SymBuffer
+from repro.wire.fields import as_field, field_equals, field_int, is_symbolic_field
+
+
+# ---------------------------------------------------------------------------
+# SymBuffer
+# ---------------------------------------------------------------------------
+
+def test_buffer_write_read_roundtrip():
+    buf = SymBuffer()
+    buf.write_u8(0x12).write_u16(0x3456).write_u32(0x789ABCDE).write_u64(0x1122334455667788)
+    assert len(buf) == 15
+    assert buf.read_u8(0) == 0x12
+    assert buf.read_u16(1) == 0x3456
+    assert buf.read_u32(3) == 0x789ABCDE
+    assert buf.read_u64(7) == 0x1122334455667788
+
+
+def test_buffer_from_bytes_and_to_bytes():
+    buf = SymBuffer(b"\x01\x02\x03")
+    assert buf.to_bytes() == b"\x01\x02\x03"
+    assert buf.is_concrete
+
+
+def test_buffer_symbolic_field_roundtrip():
+    port = bvvar("port", 16)
+    buf = SymBuffer()
+    buf.write_u16(port)
+    value = buf.read_u16(0)
+    assert isinstance(value, BVVar)
+    assert value.name == "port"
+
+
+def test_buffer_rejects_out_of_range_byte():
+    with pytest.raises(PacketError):
+        SymBuffer([300])
+    with pytest.raises(PacketError):
+        SymBuffer().write_u8(256)
+
+
+def test_buffer_out_of_bounds_read():
+    with pytest.raises(PacketError):
+        SymBuffer(b"\x00\x01").read_u32(0)
+
+
+def test_buffer_slice_pad_concat_hex():
+    buf = SymBuffer(b"\xAA\xBB") + SymBuffer(b"\xCC")
+    buf.pad(2, fill=0)
+    assert buf.to_bytes() == b"\xAA\xBB\xCC\x00\x00"
+    assert buf[1:3].to_bytes() == b"\xBB\xCC"
+    assert buf.hex() == "aabbcc0000"
+    symbolic = SymBuffer([bvvar("b", 8)])
+    assert symbolic.hex() == "??"
+    assert not symbolic.is_concrete
+    with pytest.raises(PacketError):
+        symbolic.to_bytes()
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_prop_buffer_u32_roundtrip(value):
+    buf = SymBuffer()
+    buf.write_u32(value)
+    assert buf.read_u32(0) == value
+
+
+# ---------------------------------------------------------------------------
+# Field helpers
+# ---------------------------------------------------------------------------
+
+def test_field_helpers():
+    assert as_field(0x1FFFF, 16) == 0xFFFF
+    assert field_int(7) == 7
+    assert field_equals(5, 5, 16) is True
+    assert field_equals(5, 6, 16) is False
+    symbolic = bvvar("f", 16)
+    assert is_symbolic_field(symbolic)
+    assert not is_symbolic_field(3)
+    condition = field_equals(symbolic, 9, 16)
+    assert not isinstance(condition, bool)
+
+
+# ---------------------------------------------------------------------------
+# Match
+# ---------------------------------------------------------------------------
+
+def test_match_pack_length_and_roundtrip():
+    match = Match.exact_tcp(in_port=3, dl_src=0x0A0B0C0D0E0F, dl_dst=0x010203040506,
+                            nw_src=0x0A000001, nw_dst=0x0A000002, tp_src=1000, tp_dst=2000)
+    packed = match.pack()
+    assert len(packed) == c.OFP_MATCH_LEN
+    parsed = Match.unpack(packed)
+    assert parsed.field_values() == match.field_values()
+
+
+def test_match_wildcard_all_and_describe():
+    match = Match.wildcard_all()
+    assert match.wildcards == c.OFPFW_ALL
+    assert "wildcards" in match.describe()
+    assert not match.has_symbolic_fields()
+
+
+def test_match_symbolic_fields_detected_and_normalized():
+    match = Match(wildcards=0, in_port=bvvar("m.in_port", 16))
+    assert match.has_symbolic_fields()
+    assert "in_port=*" in match.describe()
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+def test_action_pack_lengths_are_multiples_of_eight():
+    actions = [ActionOutput(port=1, max_len=64), ActionSetVlanVid(vlan_vid=10),
+               ActionStripVlan(), ActionSetDlDst(dl_addr=0x112233445566),
+               ActionSetNwTos(nw_tos=0x40), ActionEnqueue(port=2, queue_id=7)]
+    for action in actions:
+        assert len(action.pack()) % 8 == 0
+        assert len(action.pack()) == action.LENGTH
+
+
+def test_action_list_roundtrip():
+    actions = [ActionOutput(port=4, max_len=32), ActionSetVlanVid(vlan_vid=100),
+               ActionEnqueue(port=2, queue_id=9)]
+    packed = pack_actions(actions)
+    parsed = unpack_actions(packed, 0, len(packed))
+    assert isinstance(parsed[0], ActionOutput) and parsed[0].port == 4
+    assert isinstance(parsed[1], ActionSetVlanVid) and parsed[1].vlan_vid == 100
+    assert isinstance(parsed[2], ActionEnqueue) and parsed[2].queue_id == 9
+
+
+def test_symbolic_action_type_parses_as_raw_action():
+    raw = RawAction(action_type=bvvar("t", 16), length=8, arg16_a=bvvar("a", 16))
+    packed = raw.pack()
+    parsed = unpack_actions(packed, 0, len(packed))
+    assert len(parsed) == 1 and isinstance(parsed[0], RawAction)
+
+
+def test_unpack_actions_rejects_bad_length():
+    buf = SymBuffer()
+    buf.write_u16(c.OFPAT_OUTPUT)
+    buf.write_u16(6)  # not a multiple of 8
+    buf.write_u32(0)
+    with pytest.raises(MessageParseError):
+        unpack_actions(buf, 0, len(buf))
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+def test_header_layout():
+    packed = Hello(xid=99).pack()
+    header = parse_header(packed)
+    assert header.version == c.OFP_VERSION
+    assert header.msg_type == c.OFPT_HELLO
+    assert header.length == len(packed) == 8
+    assert header.xid == 99
+
+
+def test_parse_header_too_short():
+    with pytest.raises(MessageParseError):
+        parse_header(SymBuffer(b"\x01\x00"))
+
+
+@pytest.mark.parametrize("message", [
+    Hello(xid=1),
+    EchoRequest(xid=2, data=b"abc"),
+    BarrierRequest(xid=3),
+    SetConfig(xid=4, flags=1, miss_send_len=64),
+    StatsRequest(xid=5, stats_type=c.OFPST_TABLE),
+    QueueGetConfigRequest(xid=6, port=2),
+    ErrorMsg(xid=7, err_type=c.OFPET_BAD_REQUEST, code=c.OFPBRC_BAD_LEN),
+])
+def test_message_pack_parse_roundtrip_types(message):
+    packed = message.pack()
+    assert parse_header(packed).length == len(packed)
+    parsed = parse_message(packed)
+    assert parsed.TYPE == message.TYPE
+    assert parsed.xid == message.xid
+
+
+def test_flow_mod_roundtrip_with_actions():
+    message = FlowMod(xid=11, match=Match.wildcard_all(), command=c.OFPFC_MODIFY,
+                      idle_timeout=5, hard_timeout=10, priority=7, buffer_id=3,
+                      out_port=2, flags=c.OFPFF_SEND_FLOW_REM,
+                      actions=[ActionOutput(port=6, max_len=0)])
+    parsed = parse_message(message.pack())
+    assert isinstance(parsed, FlowMod)
+    assert parsed.command == c.OFPFC_MODIFY
+    assert parsed.priority == 7
+    assert parsed.buffer_id == 3
+    assert parsed.out_port == 2
+    assert isinstance(parsed.actions[0], ActionOutput) and parsed.actions[0].port == 6
+
+
+def test_packet_out_roundtrip_with_data():
+    message = PacketOut(xid=12, buffer_id=c.OFP_NO_BUFFER, in_port=4,
+                        actions=[ActionOutput(port=c.OFPP_FLOOD, max_len=0)],
+                        data=b"\x00" * 20)
+    parsed = parse_message(message.pack())
+    assert isinstance(parsed, PacketOut)
+    assert parsed.in_port == 4
+    assert len(parsed.data) == 20
+
+
+def test_features_reply_with_ports():
+    ports = [PhyPort(port_no=n, hw_addr=n, name="eth%d" % n) for n in range(1, 4)]
+    message = FeaturesReply(xid=13, datapath_id=0xAB, n_buffers=64, n_tables=1, ports=ports)
+    packed = message.pack()
+    assert len(packed) == 8 + 24 + 3 * c.OFP_PHY_PORT_LEN
+    assert parse_header(packed).length == len(packed)
+
+
+def test_packet_in_describe_and_pack():
+    message = PacketIn(xid=14, buffer_id=7, total_len=60, in_port=2,
+                       reason=c.OFPR_NO_MATCH, data=b"\x11" * 60)
+    assert "PACKET_IN" in message.describe()
+    assert parse_header(message.pack()).length == 8 + 10 + 60
+
+
+def test_error_describe_uses_symbolic_names():
+    message = ErrorMsg(err_type=c.OFPET_BAD_ACTION, code=c.OFPBAC_BAD_OUT_PORT)
+    assert "BAD_ACTION" in message.describe()
+    assert "BAD_OUT_PORT" in message.describe()
+
+
+def test_symbolic_message_field_survives_packing():
+    port = bvvar("out.port", 16)
+    message = PacketOut(buffer_id=c.OFP_NO_BUFFER, in_port=c.OFPP_NONE,
+                        actions=[ActionOutput(port=port)], data=b"abcd")
+    packed = message.pack()
+    assert packed.symbolic_byte_count() == 2
+    parsed = parse_message(packed)
+    assert isinstance(parsed.actions[0].port, BVVar)
+    assert parsed.actions[0].port.name == "out.port"
+
+
+def test_parse_message_rejects_truncated_flow_mod():
+    buf = FlowMod().pack()[:40]
+    # Re-stamp the length field so the header itself is consistent.
+    raw = bytearray(buf.to_bytes())
+    raw[2:4] = (len(raw)).to_bytes(2, "big")
+    with pytest.raises(MessageParseError):
+        parse_message(SymBuffer(bytes(raw)))
