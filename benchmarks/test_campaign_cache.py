@@ -1,0 +1,85 @@
+"""Campaign exploration-cache benchmark.
+
+An all-pairs campaign over M agents needs M explorations per test through the
+:class:`~repro.core.campaign.ExplorationCache`; the pre-campaign API ran Phase
+1 twice per pair, i.e. ``2 * C(M, 2)`` explorations per test (6 instead of 3
+for M=3).  This bench runs the 3-agent all-pairs campaign over two tests,
+asserts the exploration count, and records wall-clock for the cached campaign
+versus the naive re-exploring loop over the same pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import repro.core.campaign as campaign_module
+from benchmarks.conftest import print_table
+from repro.core.campaign import Campaign
+from repro.core.crosscheck import find_inconsistencies
+from repro.core.explorer import explore_agent
+from repro.core.grouping import group_paths
+
+AGENTS = ("reference", "ovs", "modified")
+TESTS = ("stats_request", "set_config")
+
+
+def _campaign_with_counter():
+    calls = []
+    original = campaign_module.explore_agent
+
+    def recorder(agent, spec, **kwargs):
+        calls.append((agent, spec.key))
+        return original(agent, spec, **kwargs)
+
+    campaign_module.explore_agent = recorder
+    try:
+        started = time.perf_counter()
+        report = (Campaign(replay_testcases=False)
+                  .with_tests(*TESTS)
+                  .with_agents(*AGENTS)
+                  .run())
+        elapsed = time.perf_counter() - started
+    finally:
+        campaign_module.explore_agent = original
+    return report, calls, elapsed
+
+
+def _naive_per_pair_loop():
+    """The pre-campaign behaviour: Phase 1 from scratch for every pair."""
+
+    explorations = 0
+    started = time.perf_counter()
+    for test in TESTS:
+        for agent_a, agent_b in itertools.combinations(AGENTS, 2):
+            grouped_a = group_paths(explore_agent(agent_a, test))
+            grouped_b = group_paths(explore_agent(agent_b, test))
+            explorations += 2
+            find_inconsistencies(grouped_a, grouped_b)
+    return explorations, time.perf_counter() - started
+
+
+def test_campaign_cache_bounds_explorations(run_once):
+    report, calls, campaign_elapsed = run_once(_campaign_with_counter)
+    naive_explorations, naive_elapsed = _naive_per_pair_loop()
+
+    pairs_per_test = len(list(itertools.combinations(AGENTS, 2)))
+    print_table(
+        "Campaign cache: explorations and wall-clock (3 agents, all pairs, 2 tests)",
+        ("Strategy", "Explorations", "Pair reports", "Wall clock"),
+        [
+            ("campaign (cached)", len(calls), report.pair_count,
+             "%.2fs" % campaign_elapsed),
+            ("naive per-pair", naive_explorations, pairs_per_test * len(TESTS),
+             "%.2fs" % naive_elapsed),
+        ])
+
+    # At most M explorations per test (one per agent), not 2 per pair.
+    for test in TESTS:
+        per_test = [call for call in calls if call[1] == test]
+        assert len(per_test) == len(AGENTS)
+        assert len(set(per_test)) == len(per_test)  # each (agent, test) exactly once
+    assert len(calls) == len(AGENTS) * len(TESTS)
+    assert naive_explorations == 2 * pairs_per_test * len(TESTS)
+    # Every pair was still crosschecked.
+    assert report.pair_count == pairs_per_test * len(TESTS)

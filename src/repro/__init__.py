@@ -20,6 +20,17 @@ substrate the system needs:
 
 Quickstart::
 
+    from repro import Campaign
+
+    report = (Campaign()
+              .with_tests("packet_out", "stats_request")
+              .with_agents("reference", "ovs", "modified")
+              .with_workers(4)
+              .run())
+    print(report.describe())
+
+or, for a single pair on a single test::
+
     from repro import SOFT
 
     report = SOFT().run("packet_out", "reference", "ovs")
@@ -28,17 +39,30 @@ Quickstart::
 
 from repro.version import __version__
 from repro.core.soft import SOFT, SoftReport
-from repro.core.explorer import explore_agent
+from repro.core.campaign import Campaign, CampaignReport, ExplorationCache
+from repro.core.artifacts import (
+    load_exploration_artifact,
+    load_exploration_artifacts,
+    save_exploration_artifact,
+)
+from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import group_paths
 from repro.core.crosscheck import find_inconsistencies
 from repro.core.testcase import build_testcase, replay_testcase
 from repro.core.tests_catalog import catalog, get_test
-from repro.agents import make_agent
+from repro.agents import agent_registry, make_agent, register_agent
 
 __all__ = [
     "__version__",
     "SOFT",
     "SoftReport",
+    "Campaign",
+    "CampaignReport",
+    "ExplorationCache",
+    "AgentExplorationReport",
+    "save_exploration_artifact",
+    "load_exploration_artifact",
+    "load_exploration_artifacts",
     "explore_agent",
     "group_paths",
     "find_inconsistencies",
@@ -47,4 +71,6 @@ __all__ = [
     "catalog",
     "get_test",
     "make_agent",
+    "register_agent",
+    "agent_registry",
 ]

@@ -17,30 +17,29 @@ All agents implement the same :class:`repro.agents.common.base.OpenFlowAgent`
 interface, consume (possibly symbolic) byte buffers on their control channel
 and emit message objects / data-plane outputs through an
 :class:`repro.agents.common.context.AgentContext`.
+
+Agents self-register via the :func:`repro.agents.registry.register_agent`
+class decorator; resolve them by name with :func:`make_agent` and inspect
+their metadata with :func:`agent_registry`.
 """
 
 from repro.agents.common.base import OpenFlowAgent
 from repro.agents.common.context import AgentContext, RecordingContext
+from repro.agents.registry import (
+    AGENT_REGISTRY,
+    AgentInfo,
+    agent_info,
+    agent_registry,
+    first_doc_line,
+    make_agent,
+    register_agent,
+    registered_agent_names,
+)
+
+# Importing the implementation modules runs their @register_agent decorators.
 from repro.agents.reference.agent import ReferenceSwitch
 from repro.agents.ovs.agent import OpenVSwitchAgent
 from repro.agents.modified.agent import ModifiedSwitch
-
-AGENT_REGISTRY = {
-    "reference": ReferenceSwitch,
-    "ovs": OpenVSwitchAgent,
-    "modified": ModifiedSwitch,
-}
-
-
-def make_agent(name: str, **kwargs):
-    """Instantiate a registered agent by name (``reference``/``ovs``/``modified``)."""
-
-    try:
-        factory = AGENT_REGISTRY[name]
-    except KeyError:
-        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(AGENT_REGISTRY)))
-    return factory(**kwargs)
-
 
 __all__ = [
     "OpenFlowAgent",
@@ -50,5 +49,11 @@ __all__ = [
     "OpenVSwitchAgent",
     "ModifiedSwitch",
     "AGENT_REGISTRY",
+    "AgentInfo",
+    "register_agent",
+    "agent_registry",
+    "agent_info",
+    "registered_agent_names",
+    "first_doc_line",
     "make_agent",
 ]

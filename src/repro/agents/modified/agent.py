@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.agents.reference.agent import ReferenceSwitch
+from repro.agents.registry import register_agent
 from repro.openflow import constants as c
 from repro.openflow.actions import Action
 from repro.openflow.match import Match
@@ -21,6 +22,11 @@ from repro.wire.fields import FieldValue
 __all__ = ["ModifiedSwitch"]
 
 
+@register_agent(
+    description="Reference switch with the seven injected §5.1.1 modifications.",
+    vendor="paper §5.1.1 mutation study",
+    tags=("paper", "mutations"),
+)
 class ModifiedSwitch(ReferenceSwitch):
     """Reference switch with the seven injected corner-case modifications."""
 

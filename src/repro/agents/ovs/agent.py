@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.agents.common.base import AgentConfig, OpenFlowAgent
 from repro.agents.common.flowtable import FlowEntry
 from repro.agents.ovs.stats import OvsStatsMixin
+from repro.agents.registry import register_agent
 from repro.openflow import constants as c
 from repro.openflow.actions import (
     Action,
@@ -45,6 +46,11 @@ from repro.wire.fields import FieldValue, field_equals
 __all__ = ["OpenVSwitchAgent"]
 
 
+@register_agent(
+    description="Open vSwitch 1.0.0 behaviour: strict validation, silent drops.",
+    vendor="Open vSwitch 1.0.0 (80K LoC of C in the paper)",
+    tags=("paper", "table1"),
+)
 class OpenVSwitchAgent(OvsStatsMixin, OpenFlowAgent):
     """Open vSwitch 1.0.0 behavioural model."""
 

@@ -33,6 +33,7 @@ from typing import List, Optional
 from repro.agents.common.base import AgentConfig, OpenFlowAgent
 from repro.agents.common.flowtable import FlowEntry
 from repro.agents.reference.stats import ReferenceStatsMixin
+from repro.agents.registry import register_agent
 from repro.openflow import constants as c
 from repro.openflow.actions import (
     Action,
@@ -51,6 +52,11 @@ from repro.wire.fields import FieldValue
 __all__ = ["ReferenceSwitch"]
 
 
+@register_agent(
+    description="The OpenFlow 1.0 reference userspace switch, quirks included.",
+    vendor="Stanford reference implementation (55K LoC of C in the paper)",
+    tags=("paper", "table1"),
+)
 class ReferenceSwitch(ReferenceStatsMixin, OpenFlowAgent):
     """Reference OpenFlow 1.0 switch model."""
 

@@ -1,0 +1,130 @@
+"""The agent registry.
+
+Agent implementations register themselves with the :func:`register_agent`
+class decorator, carrying per-agent metadata (a one-line description, the
+modelled vendor/code base, free-form tags).  Everything else in the code base
+— the CLI, the campaign runner, the baselines — resolves agents through this
+registry, so adding a fourth implementation is a single decorated class with
+no central list to edit.
+
+``AGENT_REGISTRY`` (name -> agent class) is kept as the backward-compatible
+view the pre-registry code exposed; it is the *live* dict, updated as
+decorators run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "AgentInfo",
+    "AGENT_REGISTRY",
+    "register_agent",
+    "agent_registry",
+    "agent_info",
+    "registered_agent_names",
+    "make_agent",
+    "first_doc_line",
+]
+
+
+def first_doc_line(obj: object) -> str:
+    """First non-empty docstring line of *obj*, or ``""``.
+
+    Safe on classes with empty or missing docstrings (a plain
+    ``doc.strip().splitlines()[0]`` raises ``IndexError`` on ``""``).
+    """
+
+    doc = getattr(obj, "__doc__", None) or ""
+    for line in doc.strip().splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+@dataclass(frozen=True)
+class AgentInfo:
+    """Registration record of one agent implementation."""
+
+    name: str
+    factory: Callable[..., object]
+    description: str = ""
+    vendor: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "vendor": self.vendor,
+            "tags": list(self.tags),
+        }
+
+
+#: Live name -> agent class mapping (the historical public view).
+AGENT_REGISTRY: Dict[str, Type] = {}
+
+_INFO: Dict[str, AgentInfo] = {}
+
+
+def register_agent(name: Optional[str] = None, *, description: Optional[str] = None,
+                   vendor: str = "", tags: Tuple[str, ...] = ()) -> Callable[[Type], Type]:
+    """Class decorator registering an agent implementation.
+
+    ``name`` defaults to the class's ``NAME`` attribute; ``description``
+    defaults to the first docstring line.  Registering a second agent under an
+    existing name replaces the previous entry (deliberate, so tests can
+    install instrumented stand-ins).
+    """
+
+    def decorate(cls: Type) -> Type:
+        agent_name = name or getattr(cls, "NAME", None)
+        if not agent_name:
+            raise ValueError(
+                "agent class %r has no NAME attribute and no explicit "
+                "register_agent(name=...)" % (cls,))
+        info = AgentInfo(
+            name=agent_name,
+            factory=cls,
+            description=description if description is not None else first_doc_line(cls),
+            vendor=vendor,
+            tags=tuple(tags),
+        )
+        _INFO[agent_name] = info
+        AGENT_REGISTRY[agent_name] = cls
+        return cls
+
+    return decorate
+
+
+def agent_registry() -> Dict[str, AgentInfo]:
+    """A snapshot of the registry metadata, keyed by agent name."""
+
+    return dict(_INFO)
+
+
+def agent_info(name: str) -> AgentInfo:
+    """Metadata for one registered agent."""
+
+    try:
+        return _INFO[name]
+    except KeyError:
+        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(_INFO)))
+
+
+def registered_agent_names() -> List[str]:
+    """Sorted names of every registered agent."""
+
+    return sorted(_INFO)
+
+
+def make_agent(name: str, **kwargs):
+    """Instantiate a registered agent by name (``reference``/``ovs``/``modified``)."""
+
+    try:
+        info = _INFO[name]
+    except KeyError:
+        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(_INFO)))
+    return info.factory(**kwargs)

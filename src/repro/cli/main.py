@@ -5,8 +5,13 @@ commands::
 
     soft list-tests                 # the Table-1 catalogue
     soft list-agents                # registered agents under test
-    soft explore --agent reference --test packet_out
+    soft explore --agent reference --test packet_out --save ref_po.json
+    soft explore --load ref_po.json
     soft run --test packet_out --agent-a reference --agent-b ovs
+    soft campaign --tests all --agents reference,ovs,modified --workers 4 \\
+                  --json out.json
+    soft campaign --tests stats_request --agents reference \\
+                  --artifact vendor_ovs.json
     soft oftest --agent ovs         # the manual baseline suite
     soft fuzz --agent-a reference --agent-b ovs --iterations 200
 """
@@ -17,15 +22,24 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.agents import AGENT_REGISTRY
+from repro.agents import AGENT_REGISTRY, agent_registry
 from repro.baselines.fuzzer import DifferentialFuzzer
 from repro.baselines.oftest import run_suite
+from repro.core.artifacts import load_exploration_artifact, save_exploration_artifact
+from repro.core.campaign import Campaign
 from repro.core.explorer import explore_agent
 from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
 from repro.core.tests_catalog import TABLE1_TESTS, catalog, get_test
+from repro.errors import ArtifactError, CampaignError
 
 __all__ = ["main", "build_parser"]
+
+
+def _split_csv(value: str) -> List[str]:
+    """Split a comma-separated CLI list, dropping empty items."""
+
+    return [item.strip() for item in value.split(",") if item.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,10 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list-agents", help="list the registered agents under test")
 
     explore = subparsers.add_parser("explore", help="Phase 1: symbolically execute one agent")
-    explore.add_argument("--agent", required=True, choices=sorted(AGENT_REGISTRY))
-    explore.add_argument("--test", required=True, choices=TABLE1_TESTS)
+    explore.add_argument("--agent", choices=sorted(AGENT_REGISTRY),
+                         help="agent to explore (required unless --load is given)")
+    explore.add_argument("--test", choices=TABLE1_TESTS,
+                         help="test to explore (required unless --load is given)")
     explore.add_argument("--coverage", action="store_true",
                          help="also report instruction/branch coverage")
+    explore.add_argument("--save", metavar="FILE",
+                         help="save the Phase-1 artifact (vendor exchange format) as JSON")
+    explore.add_argument("--load", metavar="FILE",
+                         help="load and summarize a saved artifact instead of exploring")
 
     run = subparsers.add_parser("run", help="full pipeline: explore, group, crosscheck, replay")
     run.add_argument("--test", required=True, choices=TABLE1_TESTS)
@@ -51,6 +71,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--agent-b", default="ovs", choices=sorted(AGENT_REGISTRY))
     run.add_argument("--no-replay", action="store_true",
                      help="skip concrete replay of generated test cases")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="N tests x M agents: explore once per (agent, test), crosscheck all pairs")
+    campaign.add_argument("--tests", default="all",
+                          help="comma-separated test keys, or 'all' (default)")
+    campaign.add_argument("--agents", default="",
+                          help="comma-separated agent names (>= 2 unless --artifact "
+                               "or --pairs supplies more)")
+    campaign.add_argument("--pairs", default="",
+                          help="explicit a:b pairs (comma-separated) instead of all-pairs")
+    campaign.add_argument("--artifact", action="append", default=[], metavar="FILE",
+                          help="seed Phase 1 from a saved artifact (repeatable); the "
+                               "artifact's agent joins the campaign")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker pool width for exploration and pair crosschecks")
+    campaign.add_argument("--executor", choices=("thread", "process"), default="thread",
+                          help="pool kind for Phase 1 (process = true CPU parallelism)")
+    campaign.add_argument("--no-replay", action="store_true",
+                          help="skip concrete replay of generated test cases")
+    campaign.add_argument("--json", metavar="FILE", dest="json_out",
+                          help="write the machine-readable report to FILE ('-' = stdout)")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress the human-readable table")
 
     oftest = subparsers.add_parser("oftest", help="run the OFTest-style manual baseline suite")
     oftest.add_argument("--agent", required=True, choices=sorted(AGENT_REGISTRY))
@@ -71,14 +115,15 @@ def _cmd_list_tests() -> int:
 
 
 def _cmd_list_agents() -> int:
-    for name, factory in sorted(AGENT_REGISTRY.items()):
-        print("%-12s %s" % (name, (factory.__doc__ or "").strip().splitlines()[0]))
+    for name, info in sorted(agent_registry().items()):
+        description = info.description or "(no description)"
+        print("%-12s %s" % (name, description))
+        if info.vendor:
+            print("%-12s   models: %s" % ("", info.vendor))
     return 0
 
 
-def _cmd_explore(args: argparse.Namespace) -> int:
-    report = explore_agent(args.agent, args.test, with_coverage=args.coverage)
-    grouped = group_paths(report)
+def _print_exploration_summary(report, grouped) -> None:
     print("agent=%s test=%s" % (report.agent_name, report.test_key))
     print("  paths explored:        %d" % report.path_count)
     print("  distinct outputs:      %d" % grouped.distinct_output_count)
@@ -90,6 +135,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print("  branch coverage:       %.1f%%" % (100 * report.coverage.branch_coverage))
     for group in grouped.groups:
         print("  output group: %s" % group.describe())
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.load:
+        report = load_exploration_artifact(args.load)
+        print("loaded artifact %s" % args.load)
+    else:
+        if not args.agent or not args.test:
+            print("error: --agent and --test are required unless --load is given",
+                  file=sys.stderr)
+            return 2
+        report = explore_agent(args.agent, args.test, with_coverage=args.coverage)
+    grouped = group_paths(report)
+    _print_exploration_summary(report, grouped)
+    if args.save:
+        save_exploration_artifact(report, args.save)
+        print("saved artifact to %s" % args.save)
     return 0
 
 
@@ -97,6 +159,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     soft = SOFT(replay_testcases=not args.no_replay)
     report = soft.run(args.test, args.agent_a, args.agent_b)
     print(report.describe())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = Campaign(workers=args.workers, executor=args.executor,
+                        replay_testcases=not args.no_replay)
+    tests = _split_csv(args.tests) or ["all"]
+    campaign.with_tests(*tests)
+    agents = _split_csv(args.agents)
+    if agents:
+        campaign.with_agents(*agents)
+    pairs = _split_csv(args.pairs)
+    if pairs:
+        parsed = []
+        for pair in pairs:
+            halves = pair.split(":")
+            if len(halves) != 2 or not halves[0] or not halves[1]:
+                print("error: --pairs entries must look like agentA:agentB, got %r"
+                      % pair, file=sys.stderr)
+                return 2
+            parsed.append((halves[0], halves[1]))
+        campaign.with_pairs(*parsed)
+    for path in args.artifact:
+        campaign.load_artifact(path)
+
+    report = campaign.run()
+
+    if report.unused_loaded_agents:
+        print("warning: loaded artifact(s) for %s matched no pair and were unused"
+              % ", ".join(report.unused_loaded_agents), file=sys.stderr)
+    if not args.quiet:
+        print(report.describe())
+    if args.json_out:
+        rendered = report.to_json()
+        if args.json_out == "-":
+            print(rendered)
+        else:
+            try:
+                with open(args.json_out, "w") as handle:
+                    handle.write(rendered)
+                    handle.write("\n")
+            except OSError as exc:
+                print("error: cannot write JSON report: %s" % exc, file=sys.stderr)
+                return 2
+            if not args.quiet:
+                print("wrote JSON report to %s" % args.json_out)
     return 0
 
 
@@ -128,18 +236,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list-tests":
-        return _cmd_list_tests()
-    if args.command == "list-agents":
-        return _cmd_list_agents()
-    if args.command == "explore":
-        return _cmd_explore(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "oftest":
-        return _cmd_oftest(args)
-    if args.command == "fuzz":
-        return _cmd_fuzz(args)
+    try:
+        if args.command == "list-tests":
+            return _cmd_list_tests()
+        if args.command == "list-agents":
+            return _cmd_list_agents()
+        if args.command == "explore":
+            return _cmd_explore(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "oftest":
+            return _cmd_oftest(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+    except (ArtifactError, CampaignError) as exc:
+        print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
+        return 2
     parser.error("unknown command %r" % (args.command,))
     return 2
 

@@ -1,0 +1,68 @@
+"""Saved Phase-1 artifacts: the paper's vendor exchange format (§2.4).
+
+A vendor runs Phase 1 (symbolic exploration) in-house, saves the resulting
+:class:`~repro.core.explorer.AgentExplorationReport` to a JSON file, and ships
+that file — path conditions plus normalized output traces, no source code —
+to the crosschecking party.  The crosschecking party loads any number of such
+artifacts into a :class:`~repro.core.campaign.Campaign` and runs Phase 2
+without re-exploring anything.
+
+File layout::
+
+    {
+      "format": "soft/exploration-artifact/v1",
+      "agent": "...", "test": "...",
+      "outcomes": [ {"constraints": [...], "trace": [...], ...}, ... ],
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Union
+
+from repro.core.explorer import AgentExplorationReport
+from repro.errors import ArtifactError
+
+__all__ = [
+    "save_exploration_artifact",
+    "load_exploration_artifact",
+    "load_exploration_artifacts",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_exploration_artifact(report: AgentExplorationReport, path: PathLike,
+                              indent: int = 2) -> Dict[str, object]:
+    """Write *report* to *path* as JSON; returns the serialized dict."""
+
+    data = report.to_dict()
+    try:
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=indent)
+            handle.write("\n")
+    except OSError as exc:
+        raise ArtifactError("cannot write artifact %s: %s" % (path, exc))
+    return data
+
+
+def load_exploration_artifact(path: PathLike) -> AgentExplorationReport:
+    """Load one Phase-1 artifact saved by :func:`save_exploration_artifact`."""
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ArtifactError("cannot read artifact %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise ArtifactError("artifact %s is not valid JSON: %s" % (path, exc))
+    return AgentExplorationReport.from_dict(data)
+
+
+def load_exploration_artifacts(paths: Sequence[PathLike]) -> List[AgentExplorationReport]:
+    """Load several artifacts, preserving order."""
+
+    return [load_exploration_artifact(path) for path in paths]

@@ -1,0 +1,611 @@
+"""Campaign sessions: N tests x M agents, explored once, crosschecked all-pairs.
+
+The paper's workflow is two-phase: every vendor runs Phase 1 (symbolic
+exploration) exactly once per test, and only the intermediate results are
+pairwise crosschecked in Phase 2.  :class:`Campaign` makes that the unit of
+work of the public API:
+
+* Phase 1 runs **once per (agent, test, config)** through an
+  :class:`ExplorationCache` — an all-pairs campaign over M agents performs M
+  explorations per test, not ``2 * C(M, 2)``.
+* Cache entries can be **seeded from saved artifacts**
+  (:mod:`repro.core.artifacts`), enabling the vendor exchange of §2.4:
+  explore in-house, save to JSON, crosscheck later without source code or
+  re-exploration.
+* Pairs fan out across a worker pool (``workers=N``).  Threads are the
+  default executor; ``executor="process"`` runs Phase 1 in separate
+  processes for true CPU parallelism (specs that do not pickle — e.g. with
+  closure-built inputs — transparently fall back to the thread pool).
+* The result is a :class:`CampaignReport` aggregating one
+  :class:`~repro.core.soft.SoftReport` per (test, pair), with totals, timing
+  and machine-readable JSON output.
+
+Quickstart::
+
+    from repro import Campaign
+
+    report = (Campaign()
+              .with_tests("stats_request", "set_config")
+              .with_agents("reference", "ovs", "modified")
+              .with_workers(4)
+              .run())
+    print(report.describe())
+    print(report.to_json())
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.agents.registry import AGENT_REGISTRY
+from repro.core.artifacts import load_exploration_artifact
+from repro.core.crosscheck import find_inconsistencies
+from repro.core.explorer import AgentExplorationReport, explore_agent
+from repro.core.grouping import GroupedResults, group_paths
+from repro.core.soft import SoftReport
+from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase, replay_testcase
+from repro.core.tests_catalog import TABLE1_TESTS, TestSpec, get_test
+from repro.errors import CampaignError
+from repro.symbex.engine import EngineConfig
+from repro.symbex.solver import Solver, SolverConfig
+
+__all__ = ["Campaign", "CampaignReport", "ExplorationCache"]
+
+TestLike = Union[str, TestSpec]
+Pair = Tuple[str, str]
+
+
+@dataclass
+class _CacheEntry:
+    report: AgentExplorationReport
+    grouped: GroupedResults
+    loaded: bool = False
+    #: Wall-clock seconds Phase 1 took for this entry (0.0 when loaded).
+    wall_time: float = 0.0
+    #: Number of times this entry has been retrieved.
+    uses: int = 0
+
+
+class ExplorationCache:
+    """Thread-safe store of Phase-1 results, keyed by (agent, test, scale)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str, str], _CacheEntry] = {}
+        #: Retrievals beyond the first per entry — i.e. explorations *saved*.
+        self.hits = 0
+
+    @staticmethod
+    def _key(agent: str, spec: TestSpec) -> Tuple[str, str, str]:
+        return (agent, spec.key, spec.scale)
+
+    def seed(self, report: AgentExplorationReport, spec: TestSpec,
+             grouped: Optional[GroupedResults] = None, loaded: bool = False,
+             wall_time: float = 0.0) -> None:
+        """Install a Phase-1 result (freshly explored or loaded from disk)."""
+
+        entry = _CacheEntry(report=report, grouped=grouped or group_paths(report),
+                            loaded=loaded, wall_time=wall_time)
+        with self._lock:
+            self._entries[self._key(report.agent_name, spec)] = entry
+
+    def contains(self, agent: str, spec: TestSpec) -> bool:
+        with self._lock:
+            return self._key(agent, spec) in self._entries
+
+    def get(self, agent: str, spec: TestSpec) -> _CacheEntry:
+        with self._lock:
+            try:
+                entry = self._entries[self._key(agent, spec)]
+            except KeyError:
+                raise CampaignError("no cached exploration for agent %r on test %r"
+                                    % (agent, spec.key))
+            if entry.uses:
+                self.hits += 1
+            entry.uses += 1
+            return entry
+
+    def scales_for(self, agent: str, test_key: str) -> List[str]:
+        """Scales this (agent, test) is cached at (for mismatch diagnostics)."""
+
+        with self._lock:
+            return sorted(scale for (name, key, scale) in self._entries
+                          if name == agent and key == test_key)
+
+    def loaded_agent_names(self) -> List[str]:
+        """Agents with at least one artifact-seeded entry."""
+
+        with self._lock:
+            return sorted({name for (name, _, _), entry in self._entries.items()
+                           if entry.loaded})
+
+    @property
+    def loaded_count(self) -> int:
+        with self._lock:
+            return sum(1 for entry in self._entries.values() if entry.loaded)
+
+    @property
+    def explored_count(self) -> int:
+        with self._lock:
+            return sum(1 for entry in self._entries.values() if not entry.loaded)
+
+
+def _explore_spec_unit(agent: str, spec: TestSpec,
+                       engine_config: Optional[EngineConfig],
+                       solver_config: Optional[SolverConfig],
+                       with_coverage: bool) -> Tuple[AgentExplorationReport, float]:
+    """Phase 1 for one unit; module-level so process pools can run it."""
+
+    started = time.perf_counter()
+    report = explore_agent(agent, spec, engine_config=engine_config,
+                           solver_config=solver_config, with_coverage=with_coverage)
+    return report, time.perf_counter() - started
+
+
+def _picklable(spec: TestSpec) -> bool:
+    """Whether *spec* can be shipped to a worker process as-is."""
+
+    import pickle
+
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated result of one campaign: every (test, pair) crosscheck."""
+
+    tests: List[str]
+    agents: List[str]
+    pairs: List[Pair]
+    #: One SoftReport per (test, pair), test-major order.
+    reports: List[SoftReport]
+    #: Phase-1 explorations actually executed during this run.
+    explorations_run: int
+    #: Cache entries seeded from saved artifacts (never re-explored).
+    explorations_loaded: int
+    #: Cache retrievals beyond the first per (agent, test) during this run —
+    #: explorations saved relative to the per-pair re-exploration of the old API.
+    cache_hits: int
+    workers: int
+    total_time: float = 0.0
+    #: Agents whose loaded artifacts were never consumed (excluded by the
+    #: pair list); non-empty means a supplied artifact contributed nothing.
+    unused_loaded_agents: List[str] = dataclass_field(default_factory=list)
+
+    def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
+        """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
+
+        for report in self.reports:
+            if report.test_key != test:
+                continue
+            if {report.agent_a, report.agent_b} == {agent_a, agent_b}:
+                return report
+        return None
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_inconsistencies(self) -> int:
+        return sum(report.inconsistency_count for report in self.reports)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(report.crosscheck.queries for report in self.reports)
+
+    @property
+    def total_replay_verified(self) -> int:
+        return sum(report.verified_inconsistency_count() for report in self.reports)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One :meth:`SoftReport.summary_row` per pair (CLI table = JSON rows)."""
+
+        return [report.summary_row() for report in self.reports]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering: totals plus per-pair rows with inconsistencies."""
+
+        pair_objs: List[Dict[str, object]] = []
+        for report in self.reports:
+            row = report.summary_row()
+            row["inconsistencies_detail"] = [
+                {
+                    "trace_a": inconsistency.trace_a.to_obj(),
+                    "trace_b": inconsistency.trace_b.to_obj(),
+                    "example": {str(k): int(v) for k, v in inconsistency.example.items()},
+                    "solver_time": inconsistency.solver_time,
+                }
+                for inconsistency in report.inconsistencies
+            ]
+            row["replays_diverged"] = [replay.diverged for replay in report.replays]
+            pair_objs.append(row)
+        return {
+            "format": "soft/campaign-report/v1",
+            "tests": list(self.tests),
+            "agents": list(self.agents),
+            "pairs": [list(pair) for pair in self.pairs],
+            "workers": self.workers,
+            "explorations_run": self.explorations_run,
+            "explorations_loaded": self.explorations_loaded,
+            "cache_hits": self.cache_hits,
+            "unused_loaded_agents": list(self.unused_loaded_agents),
+            "totals": {
+                "pair_reports": self.pair_count,
+                "solver_queries": self.total_queries,
+                "inconsistencies": self.total_inconsistencies,
+                "replay_verified": self.total_replay_verified,
+                "total_time": self.total_time,
+            },
+            "pair_reports": pair_objs,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Machine-readable report (``soft campaign --json``)."""
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        """Human-readable table over the same counts as :meth:`to_dict`."""
+
+        lines = [
+            "campaign: %d test(s) x %d agent(s), %d pair report(s), workers=%d"
+            % (len(self.tests), len(self.agents), self.pair_count, self.workers),
+            "  phase 1: %d exploration(s) run, %d loaded from artifacts, "
+            "%d exploration(s) saved by the cache"
+            % (self.explorations_run, self.explorations_loaded, self.cache_hits),
+        ]
+        if self.unused_loaded_agents:
+            lines.append(
+                "  warning: loaded artifact(s) for %s matched no pair and were unused"
+                % ", ".join(self.unused_loaded_agents))
+        lines.append(
+            "  %-14s %-24s %9s %9s %8s %7s %9s %8s"
+            % ("TEST", "PAIR", "PATHS", "OUTPUTS", "QUERIES", "INCONS", "VERIFIED", "TIME"))
+        for row in self.summary_rows():
+            lines.append(
+                "  %-14s %-24s %9s %9s %8d %7d %9d %7.2fs"
+                % (
+                    row["test"],
+                    "%s vs %s" % (row["agent_a"], row["agent_b"]),
+                    "%d/%d" % (row["paths_a"], row["paths_b"]),
+                    "%d/%d" % (row["outputs_a"], row["outputs_b"]),
+                    row["solver_queries"],
+                    row["inconsistencies"],
+                    row["replay_verified"],
+                    row["total_time"],
+                ))
+        lines.append(
+            "  totals: %d solver queries, %d inconsistencies (%d replay-verified), %.2fs"
+            % (self.total_queries, self.total_inconsistencies,
+               self.total_replay_verified, self.total_time))
+        return "\n".join(lines)
+
+
+class Campaign:
+    """A configurable N-test x M-agent crosschecking session.
+
+    Configure through constructor keywords or the fluent ``with_*`` methods,
+    then call :meth:`run`.  ``tests="all"`` expands to the full Table-1
+    catalogue; pairs default to all unordered agent combinations.
+    """
+
+    def __init__(self,
+                 tests: Optional[Union[str, Sequence[TestLike]]] = None,
+                 agents: Optional[Sequence[str]] = None,
+                 pairs: Optional[Sequence[Pair]] = None,
+                 workers: int = 1,
+                 executor: str = "thread",
+                 engine_config: Optional[EngineConfig] = None,
+                 solver_config: Optional[SolverConfig] = None,
+                 with_coverage: bool = False,
+                 build_testcases: bool = True,
+                 replay_testcases: bool = True) -> None:
+        self._tests: List[TestLike] = []
+        self._agents: List[str] = []
+        self._pairs: Optional[List[Pair]] = None
+        self.workers = max(1, int(workers))
+        self.executor = executor
+        self.engine_config = engine_config
+        self.solver_config = solver_config
+        self.with_coverage = with_coverage
+        self.build_testcases = build_testcases
+        self.replay_testcases = replay_testcases
+        self.cache = ExplorationCache()
+        if executor not in ("thread", "process"):
+            raise CampaignError("executor must be 'thread' or 'process', got %r" % (executor,))
+        if tests is not None:
+            if isinstance(tests, str):
+                self.with_tests(tests)
+            else:
+                self.with_tests(*tests)
+        if agents is not None:
+            self.with_agents(*agents)
+        if pairs is not None:
+            self.with_pairs(*pairs)
+
+    # ------------------------------------------------------------------
+    # Fluent configuration
+    # ------------------------------------------------------------------
+
+    def with_tests(self, *tests: TestLike) -> "Campaign":
+        """Add tests; the single string ``"all"`` expands to the catalogue."""
+
+        for test in tests:
+            if isinstance(test, str) and test == "all":
+                self._add_tests(TABLE1_TESTS)
+            else:
+                self._add_tests([test])
+        return self
+
+    def _add_tests(self, tests: Sequence[TestLike]) -> None:
+        for test in tests:
+            key = test if isinstance(test, str) else test.key
+            for index, existing in enumerate(self._tests):
+                existing_key = existing if isinstance(existing, str) else existing.key
+                if existing_key == key:
+                    # A concrete spec (e.g. from an artifact, carrying its
+                    # scale) wins over a bare key string added earlier.
+                    if isinstance(existing, str) and not isinstance(test, str):
+                        self._tests[index] = test
+                    break
+            else:
+                self._tests.append(test)
+
+    def with_agents(self, *agents: str) -> "Campaign":
+        """Add agents under test (deduplicated, order preserved)."""
+
+        for agent in agents:
+            if agent not in self._agents:
+                self._agents.append(agent)
+        return self
+
+    def with_pairs(self, *pairs: Pair) -> "Campaign":
+        """Replace the default all-pairs matrix with explicit (a, b) pairs."""
+
+        checked: List[Pair] = []
+        for pair in pairs:
+            if len(pair) != 2:
+                raise CampaignError("a pair must name exactly two agents, got %r" % (pair,))
+            checked.append((pair[0], pair[1]))
+            self.with_agents(*pair)
+        self._pairs = (self._pairs or []) + checked
+        return self
+
+    def with_workers(self, workers: int, executor: Optional[str] = None) -> "Campaign":
+        """Set the worker-pool width (and optionally the executor kind)."""
+
+        self.workers = max(1, int(workers))
+        if executor is not None:
+            if executor not in ("thread", "process"):
+                raise CampaignError("executor must be 'thread' or 'process', got %r"
+                                    % (executor,))
+            self.executor = executor
+        return self
+
+    # ------------------------------------------------------------------
+    # Artifact seeding (the vendor workflow)
+    # ------------------------------------------------------------------
+
+    def add_artifact(self, artifact: Union[AgentExplorationReport, Dict[str, object]],
+                     scale: Optional[str] = None) -> "Campaign":
+        """Seed the cache with a Phase-1 result (report object or its dict form).
+
+        The artifact's agent joins the campaign automatically, so
+        ``Campaign().with_agents("reference").add_artifact(ovs_artifact)``
+        crosschecks reference against the shipped OVS results without ever
+        exploring OVS locally.  The artifact records the scale it was explored
+        at; *scale* overrides it (for artifacts predating the scale tag).
+        """
+
+        if isinstance(artifact, dict):
+            artifact = AgentExplorationReport.from_dict(artifact)
+        try:
+            spec = get_test(artifact.test_key, scale=scale or artifact.scale)
+        except KeyError as exc:
+            raise CampaignError(exc.args[0] if exc.args else str(exc))
+        self.cache.seed(artifact, spec, loaded=True)
+        self.with_agents(artifact.agent_name)
+        # Register the resolved spec itself so the run crosschecks at the
+        # artifact's scale rather than re-resolving the key at session scale.
+        self._add_tests([spec])
+        return self
+
+    def load_artifact(self, path: str, scale: Optional[str] = None) -> "Campaign":
+        """Load a JSON artifact saved by ``soft explore --save`` and seed it."""
+
+        return self.add_artifact(load_exploration_artifact(path), scale=scale)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _resolve_tests(self) -> List[TestSpec]:
+        if not self._tests:
+            raise CampaignError("campaign has no tests; call with_tests(...) first")
+        resolved: List[TestSpec] = []
+        for test in self._tests:
+            if isinstance(test, str):
+                try:
+                    resolved.append(get_test(test))
+                except KeyError as exc:
+                    raise CampaignError(exc.args[0] if exc.args else str(exc))
+            else:
+                resolved.append(test)
+        return resolved
+
+    def _resolve_pairs(self) -> List[Pair]:
+        if self._pairs is not None:
+            if not self._pairs:
+                raise CampaignError("campaign has an empty explicit pair list")
+            return list(self._pairs)
+        if len(self._agents) < 2:
+            raise CampaignError(
+                "campaign needs at least two agents for all-pairs crosschecking; "
+                "got %r" % (self._agents,))
+        return list(itertools.combinations(self._agents, 2))
+
+    def _validate_agents(self, specs: Sequence[TestSpec],
+                         agents: Sequence[str]) -> None:
+        for agent in agents:
+            for spec in specs:
+                if self.cache.contains(agent, spec):
+                    continue
+                # A cached entry at a different scale would be silently
+                # bypassed (and a registered agent re-explored) — refuse.
+                other_scales = self.cache.scales_for(agent, spec.key)
+                if other_scales:
+                    raise CampaignError(
+                        "artifact for agent %r on test %r was explored at scale "
+                        "%s but this campaign resolves the test at scale %r"
+                        % (agent, spec.key, "/".join(map(repr, other_scales)),
+                           spec.scale))
+                if agent not in AGENT_REGISTRY:
+                    raise CampaignError(
+                        "agent %r is not registered and has no loaded artifact "
+                        "for test %r" % (agent, spec.key))
+
+    def _run_phase1(self, specs: Sequence[TestSpec],
+                    agents: Sequence[str]) -> int:
+        """Explore every (agent, test) unit not already cached; returns run count."""
+
+        units = [(agent, spec) for spec in specs for agent in agents
+                 if not self.cache.contains(agent, spec)]
+        if not units:
+            return 0
+
+        thread_units = units
+        if self.executor == "process" and self.workers > 1:
+            # Ship the actual spec to the worker — never a re-resolved catalog
+            # lookalike.  Specs that do not pickle (closure-built inputs) run
+            # in the parent instead.
+            process_units = [unit for unit in units if _picklable(unit[1])]
+            thread_units = [unit for unit in units if not _picklable(unit[1])]
+            if process_units:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [
+                        pool.submit(_explore_spec_unit, agent, spec,
+                                    self.engine_config, self.solver_config,
+                                    self.with_coverage)
+                        for agent, spec in process_units
+                    ]
+                    for (agent, spec), future in zip(process_units, futures):
+                        report, wall = future.result()
+                        self.cache.seed(report, spec, wall_time=wall)
+
+        def explore_one(unit: Tuple[str, TestSpec]) -> None:
+            agent, spec = unit
+            started = time.perf_counter()
+            report = explore_agent(agent, spec, engine_config=self.engine_config,
+                                   solver_config=self.solver_config,
+                                   with_coverage=self.with_coverage)
+            self.cache.seed(report, spec, wall_time=time.perf_counter() - started)
+
+        if self.workers > 1 and len(thread_units) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for future in [pool.submit(explore_one, unit) for unit in thread_units]:
+                    future.result()
+        else:
+            for unit in thread_units:
+                explore_one(unit)
+        return len(units)
+
+    def _run_pair(self, spec: TestSpec, agent_a: str, agent_b: str,
+                  exploration_shares: Optional[Dict[Tuple[str, str], int]] = None) -> SoftReport:
+        """Phase 2 for one (test, pair): crosscheck, concretize, replay.
+
+        *exploration_shares* maps (agent, test key) to the number of pairs
+        consuming that cached exploration; its wall time is split between
+        them so that summing per-pair ``total_time`` does not multiply the
+        shared Phase-1 cost.
+        """
+
+        started = time.perf_counter()
+        entry_a = self.cache.get(agent_a, spec)
+        entry_b = self.cache.get(agent_b, spec)
+        shares_a = (exploration_shares or {}).get((agent_a, spec.key), 1)
+        shares_b = (exploration_shares or {}).get((agent_b, spec.key), 1)
+        crosscheck = find_inconsistencies(
+            entry_a.grouped, entry_b.grouped,
+            solver=Solver(self.solver_config or SolverConfig()))
+
+        testcases: List[ConcreteTestCase] = []
+        replays: List[ReplayOutcome] = []
+        can_replay = (self.replay_testcases
+                      and agent_a in AGENT_REGISTRY and agent_b in AGENT_REGISTRY)
+        if self.build_testcases:
+            for inconsistency in crosscheck.inconsistencies:
+                testcase = build_testcase(spec, inconsistency.example, inconsistency)
+                testcases.append(testcase)
+                if can_replay:
+                    replays.append(replay_testcase(testcase, agent_a, agent_b))
+
+        return SoftReport(
+            test_key=spec.key,
+            agent_a=agent_a,
+            agent_b=agent_b,
+            exploration_a=entry_a.report,
+            exploration_b=entry_b.report,
+            grouped_a=entry_a.grouped,
+            grouped_b=entry_b.grouped,
+            crosscheck=crosscheck,
+            testcases=testcases,
+            replays=replays,
+            total_time=(time.perf_counter() - started
+                        + entry_a.wall_time / shares_a
+                        + entry_b.wall_time / shares_b),
+        )
+
+    def run(self) -> CampaignReport:
+        """Execute the whole campaign and return the aggregated report."""
+
+        started = time.perf_counter()
+        specs = self._resolve_tests()
+        pairs = self._resolve_pairs()
+        # Only agents that appear in a pair are explored/validated; an agent
+        # configured but excluded by an explicit pair list costs nothing.
+        paired_agents = [agent for agent in self._agents
+                         if any(agent in pair for pair in pairs)]
+        self._validate_agents(specs, paired_agents)
+
+        loaded_before = self.cache.loaded_count
+        hits_before = self.cache.hits
+        explorations_run = self._run_phase1(specs, paired_agents)
+
+        jobs = [(spec, agent_a, agent_b) for spec in specs for agent_a, agent_b in pairs]
+        shares: Dict[Tuple[str, str], int] = {}
+        for spec, agent_a, agent_b in jobs:
+            for agent in (agent_a, agent_b):
+                key = (agent, spec.key)
+                shares[key] = shares.get(key, 0) + 1
+        if self.workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(self._run_pair, *job, exploration_shares=shares)
+                           for job in jobs]
+                reports = [future.result() for future in futures]
+        else:
+            reports = [self._run_pair(*job, exploration_shares=shares) for job in jobs]
+
+        return CampaignReport(
+            tests=[spec.key for spec in specs],
+            agents=list(self._agents),
+            pairs=pairs,
+            reports=reports,
+            explorations_run=explorations_run,
+            explorations_loaded=loaded_before,
+            cache_hits=self.cache.hits - hits_before,
+            workers=self.workers,
+            total_time=time.perf_counter() - started,
+            unused_loaded_agents=[agent for agent in self.cache.loaded_agent_names()
+                                  if agent not in paired_agents],
+        )

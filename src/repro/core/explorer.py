@@ -44,6 +44,35 @@ class PathOutcome:
     def ok(self) -> bool:
         return self.error is None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering of this path (constraints serialized as trees)."""
+
+        from repro.symbex.serialize import expr_to_obj
+
+        return {
+            "path_id": self.path_id,
+            "constraints": [expr_to_obj(c) for c in self.constraints],
+            "trace": self.trace.to_obj(),
+            "constraint_size": self.constraint_size,
+            "decisions": self.decisions,
+            "symbols": dict(self.symbols),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PathOutcome":
+        from repro.symbex.serialize import bool_expr_from_obj
+
+        return cls(
+            path_id=int(data["path_id"]),
+            constraints=[bool_expr_from_obj(c) for c in data.get("constraints", [])],
+            trace=OutputTrace.from_obj(data.get("trace", [])),
+            constraint_size=int(data.get("constraint_size", 0)),
+            decisions=int(data.get("decisions", 0)),
+            symbols={str(k): int(v) for k, v in dict(data.get("symbols", {})).items()},
+            error=data.get("error"),
+        )
+
 
 @dataclass
 class AgentExplorationReport:
@@ -59,6 +88,8 @@ class AgentExplorationReport:
     engine_stats: Dict[str, float] = field(default_factory=dict)
     coverage: Optional[CoverageReport] = None
     truncated: bool = False
+    #: Scale profile of the explored test spec ("small"/"paper", §Table 1).
+    scale: str = "small"
 
     def average_constraint_size(self) -> float:
         sizes = [o.constraint_size for o in self.outcomes]
@@ -86,6 +117,66 @@ class AgentExplorationReport:
             "avg_constraint_size": self.average_constraint_size(),
             "max_constraint_size": self.max_constraint_size(),
         }
+
+    #: Format tag stamped into serialized artifacts.
+    ARTIFACT_FORMAT = "soft/exploration-artifact/v1"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the whole Phase-1 result as a JSON-safe dict.
+
+        This is the paper's vendor artifact: path conditions plus normalized
+        output traces, but no agent source code.  Round-trips through
+        :meth:`from_dict` to a report whose grouping and crosschecking results
+        are identical to the original's.
+        """
+
+        return {
+            "format": self.ARTIFACT_FORMAT,
+            "agent": self.agent_name,
+            "test": self.test_key,
+            "scale": self.scale,
+            "cpu_time": self.cpu_time,
+            "path_count": self.path_count,
+            "message_count": self.message_count,
+            "solver_stats": dict(self.solver_stats),
+            "engine_stats": dict(self.engine_stats),
+            "coverage": self.coverage.as_dict() if self.coverage is not None else None,
+            "truncated": self.truncated,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AgentExplorationReport":
+        """Rebuild a Phase-1 artifact serialized with :meth:`to_dict`."""
+
+        from repro.errors import ArtifactError, ExpressionError
+
+        if not isinstance(data, dict):
+            raise ArtifactError("exploration artifact must be a JSON object, got %r"
+                                % (type(data).__name__,))
+        tag = data.get("format", cls.ARTIFACT_FORMAT)
+        if tag != cls.ARTIFACT_FORMAT:
+            raise ArtifactError("unsupported artifact format %r (expected %r)"
+                                % (tag, cls.ARTIFACT_FORMAT))
+        try:
+            outcomes = [PathOutcome.from_dict(o) for o in data.get("outcomes", [])]
+            coverage_data = data.get("coverage")
+            return cls(
+                agent_name=str(data["agent"]),
+                test_key=str(data["test"]),
+                scale=str(data.get("scale", "small")),
+                outcomes=outcomes,
+                cpu_time=float(data.get("cpu_time", 0.0)),
+                path_count=int(data.get("path_count", len(outcomes))),
+                message_count=int(data.get("message_count", 0)),
+                solver_stats=dict(data.get("solver_stats", {})),
+                engine_stats=dict(data.get("engine_stats", {})),
+                coverage=(CoverageReport.from_dict(coverage_data)
+                          if coverage_data is not None else None),
+                truncated=bool(data.get("truncated", False)),
+            )
+        except (KeyError, TypeError, ValueError, ExpressionError) as exc:
+            raise ArtifactError("malformed exploration artifact: %s" % (exc,))
 
 
 def _resolve_agent_factory(agent: AgentSpec) -> (str, Callable[[], OpenFlowAgent]):
@@ -139,6 +230,7 @@ def explore_agent(agent: AgentSpec,
     report = AgentExplorationReport(
         agent_name=agent_name,
         test_key=spec.key,
+        scale=spec.scale,
         outcomes=outcomes,
         cpu_time=cpu_time,
         path_count=len(outcomes),

@@ -10,15 +10,14 @@ individual stages remain available for users who want the paper's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.crosscheck import CrosscheckReport, Inconsistency, find_inconsistencies
 from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import GroupedResults, group_paths
-from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase, replay_testcase
-from repro.core.tests_catalog import TestSpec, get_test
+from repro.core.testcase import ConcreteTestCase, ReplayOutcome
+from repro.core.tests_catalog import TestSpec
 from repro.symbex.engine import EngineConfig
 from repro.symbex.solver import Solver, SolverConfig
 
@@ -54,17 +53,38 @@ class SoftReport:
 
         return sum(1 for replay in self.replays if replay.diverged)
 
+    def summary_row(self) -> Dict[str, object]:
+        """One flat row of counts shared by :meth:`describe`, the CLI table and JSON.
+
+        Solver-query and replay-verified counts come from here everywhere, so
+        the human-readable and machine-readable outputs can never disagree.
+        """
+
+        return {
+            "test": self.test_key,
+            "agent_a": self.agent_a,
+            "agent_b": self.agent_b,
+            "paths_a": self.exploration_a.path_count,
+            "paths_b": self.exploration_b.path_count,
+            "outputs_a": self.grouped_a.distinct_output_count,
+            "outputs_b": self.grouped_b.distinct_output_count,
+            "solver_queries": self.crosscheck.queries,
+            "inconsistencies": self.inconsistency_count,
+            "replay_verified": self.verified_inconsistency_count(),
+            "total_time": self.total_time,
+        }
+
     def describe(self) -> str:
+        row = self.summary_row()
         lines = [
             "SOFT report: test=%s agents=%s vs %s" % (self.test_key, self.agent_a, self.agent_b),
             "  %s: %d paths, %d distinct outputs" % (
-                self.agent_a, self.exploration_a.path_count, self.grouped_a.distinct_output_count),
+                self.agent_a, row["paths_a"], row["outputs_a"]),
             "  %s: %d paths, %d distinct outputs" % (
-                self.agent_b, self.exploration_b.path_count, self.grouped_b.distinct_output_count),
+                self.agent_b, row["paths_b"], row["outputs_b"]),
             "  solver queries: %d, inconsistencies: %d (%d replay-verified)" % (
-                self.crosscheck.queries, self.inconsistency_count,
-                self.verified_inconsistency_count()),
-            "  total time: %.2fs" % self.total_time,
+                row["solver_queries"], row["inconsistencies"], row["replay_verified"]),
+            "  total time: %.2fs" % row["total_time"],
         ]
         for index, inconsistency in enumerate(self.inconsistencies):
             lines.append("  --- inconsistency %d ---" % (index + 1))
@@ -113,47 +133,33 @@ class SOFT:
     # End-to-end convenience
     # ------------------------------------------------------------------
 
-    def run(self, test: Union[str, TestSpec], agent_a: str, agent_b: str) -> SoftReport:
-        """Run the full pipeline for one test and one pair of agents."""
+    def _campaign(self, tests: Sequence[Union[str, TestSpec]], agent_a: str,
+                  agent_b: str):
+        """A single-pair campaign mirroring this SOFT instance's configuration."""
 
-        started = time.perf_counter()
-        spec = get_test(test) if isinstance(test, str) else test
+        from repro.core.campaign import Campaign
 
-        exploration_a = self.explore(agent_a, spec)
-        exploration_b = self.explore(agent_b, spec)
-        grouped_a = self.group(exploration_a)
-        grouped_b = self.group(exploration_b)
-        crosscheck = self.crosscheck(grouped_a, grouped_b)
-
-        testcases: List[ConcreteTestCase] = []
-        replays: List[ReplayOutcome] = []
-        if self.build_testcases:
-            for inconsistency in crosscheck.inconsistencies:
-                testcase = build_testcase(spec, inconsistency.example, inconsistency)
-                testcases.append(testcase)
-                if self.replay_testcases:
-                    replays.append(replay_testcase(testcase, agent_a, agent_b))
-
-        return SoftReport(
-            test_key=spec.key,
-            agent_a=agent_a,
-            agent_b=agent_b,
-            exploration_a=exploration_a,
-            exploration_b=exploration_b,
-            grouped_a=grouped_a,
-            grouped_b=grouped_b,
-            crosscheck=crosscheck,
-            testcases=testcases,
-            replays=replays,
-            total_time=time.perf_counter() - started,
+        return Campaign(
+            tests=list(tests),
+            pairs=[(agent_a, agent_b)],
+            engine_config=self.engine_config,
+            solver_config=self.solver_config,
+            with_coverage=self.with_coverage,
+            build_testcases=self.build_testcases,
+            replay_testcases=self.replay_testcases,
         )
+
+    def run(self, test: Union[str, TestSpec], agent_a: str, agent_b: str) -> SoftReport:
+        """Run the full pipeline for one test and one pair of agents.
+
+        Thin wrapper over a single-pair :class:`~repro.core.campaign.Campaign`.
+        """
+
+        return self._campaign([test], agent_a, agent_b).run().reports[0]
 
     def run_many(self, tests: Sequence[Union[str, TestSpec]], agent_a: str,
                  agent_b: str) -> Dict[str, SoftReport]:
         """Run the full pipeline for several tests against the same agent pair."""
 
-        reports: Dict[str, SoftReport] = {}
-        for test in tests:
-            report = self.run(test, agent_a, agent_b)
-            reports[report.test_key] = report
-        return reports
+        campaign_report = self._campaign(tests, agent_a, agent_b).run()
+        return {report.test_key: report for report in campaign_report.reports}

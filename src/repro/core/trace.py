@@ -32,6 +32,22 @@ from repro.wire.fields import field_repr
 __all__ = ["OutputTrace", "normalize_message", "normalize_events"]
 
 
+def _deep_tuple(value):
+    """Recursively turn lists/tuples into tuples (JSON round-trip helper)."""
+
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(item) for item in value)
+    return value
+
+
+def _deep_list(value):
+    """Recursively turn tuples into lists so :mod:`json` can dump them."""
+
+    if isinstance(value, (list, tuple)):
+        return [_deep_list(item) for item in value]
+    return value
+
+
 def normalize_message(message: OpenFlowMessage) -> Tuple:
     """Normalize one switch-to-controller message into a comparable tuple.
 
@@ -100,6 +116,17 @@ class OutputTrace:
     @property
     def is_empty(self) -> bool:
         return not self.items
+
+    def to_obj(self) -> List:
+        """JSON-safe rendering (nested lists of scalars)."""
+
+        return _deep_list(self.items)
+
+    @classmethod
+    def from_obj(cls, obj: Sequence) -> "OutputTrace":
+        """Rebuild a trace from :meth:`to_obj` output; hash/equality round-trip."""
+
+        return cls(items=_deep_tuple(obj))
 
     def describe(self) -> str:
         """Multi-line human readable rendering for reports."""

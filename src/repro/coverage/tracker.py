@@ -120,6 +120,17 @@ class CoverageReport:
             "branch_coverage": self.branch_coverage,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "CoverageReport":
+        """Rebuild a report from :meth:`as_dict` output (derived rates recomputed)."""
+
+        return cls(
+            executable_line_count=int(data["executable_lines"]),
+            executed_line_count=int(data["executed_lines"]),
+            branch_point_count=int(data["branch_points"]),
+            executed_branch_arc_count=int(data["executed_branch_arcs"]),
+        )
+
 
 class CoverageTracker:
     """Records executed lines/arcs of the tracked packages while armed."""

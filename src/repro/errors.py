@@ -137,3 +137,11 @@ class CrosscheckError(PipelineError):
 
 class ReplayMismatchError(PipelineError):
     """Concrete replay of a generated test case did not reproduce the traces."""
+
+
+class ArtifactError(PipelineError):
+    """A saved Phase-1 artifact could not be parsed or fails validation."""
+
+
+class CampaignError(PipelineError):
+    """A campaign was configured inconsistently (agents, tests or pairs)."""

@@ -24,6 +24,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
@@ -91,26 +92,30 @@ def _no_engine_branch(cond: "BoolExpr") -> bool:
     )
 
 
-_branch_hook: Callable[["BoolExpr"], bool] = _no_engine_branch
+# The hook is thread-local so that several engines may explore concurrently
+# (one per worker thread of a Campaign) without observing each other's hook.
+_branch_hooks = threading.local()
+
+
+def _current_branch_hook() -> Callable[["BoolExpr"], bool]:
+    return getattr(_branch_hooks, "hook", _no_engine_branch)
 
 
 def set_branch_hook(hook: Callable[["BoolExpr"], bool]) -> Callable[["BoolExpr"], bool]:
-    """Install *hook* as the handler for truth-testing symbolic booleans.
+    """Install *hook* as this thread's handler for truth-testing symbolic booleans.
 
     Returns the previously installed hook so callers can restore it.
     """
 
-    global _branch_hook
-    previous = _branch_hook
-    _branch_hook = hook
+    previous = _current_branch_hook()
+    _branch_hooks.hook = hook
     return previous
 
 
 def reset_branch_hook(previous: Optional[Callable[["BoolExpr"], bool]] = None) -> None:
-    """Restore *previous* (or the default error-raising hook)."""
+    """Restore *previous* (or the default error-raising hook) on this thread."""
 
-    global _branch_hook
-    _branch_hook = previous if previous is not None else _no_engine_branch
+    _branch_hooks.hook = previous if previous is not None else _no_engine_branch
 
 
 # ---------------------------------------------------------------------------
@@ -634,7 +639,7 @@ class BoolExpr(Expr):
     def __bool__(self) -> bool:
         if isinstance(self, BoolConst):
             return self.value
-        return _branch_hook(self)
+        return _current_branch_hook()(self)
 
     def __and__(self, other: "BoolExpr") -> "BoolExpr":
         return bool_and(self, other)

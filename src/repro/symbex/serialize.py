@@ -1,0 +1,141 @@
+"""JSON-safe (de)serialization of expression trees.
+
+Phase-1 artifacts (the per-agent intermediate results a vendor ships to the
+crosschecking party, §2.4 of the paper) carry path conditions, i.e. boolean
+expressions over bit-vector atoms.  This module renders any
+:class:`~repro.symbex.expr.Expr` into nested plain lists of strings and
+integers — directly dumpable with :mod:`json` — and rebuilds structurally
+identical terms from that form.
+
+The encoding mirrors the structural keys of the AST: every node becomes
+``[tag, ...]`` where the tag matches the node kind.  Shared subterms are
+serialized once per occurrence (the rebuilt tree may therefore lose physical
+sharing, but :func:`~repro.symbex.expr.structurally_equal` holds and solver
+behaviour is unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Union
+
+from repro.errors import ExpressionError
+from repro.symbex.expr import (
+    FALSE,
+    TRUE,
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVBinOp,
+    BVCmp,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVSignExt,
+    BVUnOp,
+    BVVar,
+    BVZeroExt,
+    Expr,
+)
+
+__all__ = ["expr_to_obj", "expr_from_obj", "bool_expr_from_obj", "bv_expr_from_obj"]
+
+#: The JSON-safe rendering of an expression: nested lists of str/int.
+ExprObj = List[Any]
+
+
+def expr_to_obj(expr: Expr) -> ExprObj:
+    """Render *expr* as nested ``[tag, ...]`` lists of JSON-safe scalars."""
+
+    if isinstance(expr, BVConst):
+        return ["const", expr.width, expr.value]
+    if isinstance(expr, BVVar):
+        return ["var", expr.width, expr.name]
+    if isinstance(expr, BVBinOp):
+        return ["binop", expr.op, expr_to_obj(expr.lhs), expr_to_obj(expr.rhs)]
+    if isinstance(expr, BVUnOp):
+        return ["unop", expr.op, expr_to_obj(expr.operand)]
+    if isinstance(expr, BVExtract):
+        return ["extract", expr.high, expr.low, expr_to_obj(expr.operand)]
+    if isinstance(expr, BVConcat):
+        return ["concat"] + [expr_to_obj(part) for part in expr.parts]
+    if isinstance(expr, BVZeroExt):
+        return ["zext", expr.width, expr_to_obj(expr.operand)]
+    if isinstance(expr, BVSignExt):
+        return ["sext", expr.width, expr_to_obj(expr.operand)]
+    if isinstance(expr, BVIte):
+        return ["ite", expr_to_obj(expr.cond), expr_to_obj(expr.then),
+                expr_to_obj(expr.otherwise)]
+    if isinstance(expr, BoolConst):
+        return ["bool", 1 if expr.value else 0]
+    if isinstance(expr, BoolNot):
+        return ["not", expr_to_obj(expr.operand)]
+    if isinstance(expr, BoolAnd):
+        return ["and"] + [expr_to_obj(op) for op in expr.operands]
+    if isinstance(expr, BoolOr):
+        return ["or"] + [expr_to_obj(op) for op in expr.operands]
+    if isinstance(expr, BVCmp):
+        return ["cmp", expr.op, expr_to_obj(expr.lhs), expr_to_obj(expr.rhs)]
+    raise ExpressionError("cannot serialize expression node %r" % (expr,))
+
+
+def expr_from_obj(obj: Union[ExprObj, tuple]) -> Expr:
+    """Rebuild an expression from the output of :func:`expr_to_obj`."""
+
+    if not isinstance(obj, (list, tuple)) or not obj:
+        raise ExpressionError("malformed serialized expression: %r" % (obj,))
+    tag = obj[0]
+    try:
+        if tag == "const":
+            return BVConst(int(obj[2]), int(obj[1]))
+        if tag == "var":
+            return BVVar(str(obj[2]), int(obj[1]))
+        if tag == "binop":
+            return BVBinOp(str(obj[1]), bv_expr_from_obj(obj[2]), bv_expr_from_obj(obj[3]))
+        if tag == "unop":
+            return BVUnOp(str(obj[1]), bv_expr_from_obj(obj[2]))
+        if tag == "extract":
+            return BVExtract(bv_expr_from_obj(obj[3]), int(obj[1]), int(obj[2]))
+        if tag == "concat":
+            return BVConcat([bv_expr_from_obj(part) for part in obj[1:]])
+        if tag == "zext":
+            return BVZeroExt(bv_expr_from_obj(obj[2]), int(obj[1]))
+        if tag == "sext":
+            return BVSignExt(bv_expr_from_obj(obj[2]), int(obj[1]))
+        if tag == "ite":
+            return BVIte(bool_expr_from_obj(obj[1]), bv_expr_from_obj(obj[2]),
+                         bv_expr_from_obj(obj[3]))
+        if tag == "bool":
+            return TRUE if obj[1] else FALSE
+        if tag == "not":
+            return BoolNot(bool_expr_from_obj(obj[1]))
+        if tag == "and":
+            return BoolAnd([bool_expr_from_obj(op) for op in obj[1:]])
+        if tag == "or":
+            return BoolOr([bool_expr_from_obj(op) for op in obj[1:]])
+        if tag == "cmp":
+            return BVCmp(str(obj[1]), bv_expr_from_obj(obj[2]), bv_expr_from_obj(obj[3]))
+    except (IndexError, ValueError, TypeError) as exc:
+        raise ExpressionError("malformed serialized %s node: %r (%s)" % (tag, obj, exc))
+    raise ExpressionError("unknown serialized expression tag %r" % (tag,))
+
+
+def bool_expr_from_obj(obj: Union[ExprObj, tuple]) -> BoolExpr:
+    """Deserialize and type-check a boolean expression."""
+
+    expr = expr_from_obj(obj)
+    if not isinstance(expr, BoolExpr):
+        raise ExpressionError("expected a boolean expression, got %r" % (expr,))
+    return expr
+
+
+def bv_expr_from_obj(obj: Union[ExprObj, tuple]) -> BVExpr:
+    """Deserialize and type-check a bit-vector expression."""
+
+    expr = expr_from_obj(obj)
+    if not isinstance(expr, BVExpr):
+        raise ExpressionError("expected a bit-vector expression, got %r" % (expr,))
+    return expr
