@@ -1,0 +1,109 @@
+"""Incremental crosscheck benchmark (3 agents x 2 tests, all pairs).
+
+The legacy Phase 2b pays one SAT backend rebuild per pair query: every query
+re-simplifies, re-bit-blasts and re-solves both group conditions from
+scratch.  The incremental engine builds ONE backend per test, encodes each
+group condition once behind an activation literal, and answers every pair
+query as ``solve(assumptions=[act_i, act_j])`` on the shared instance.
+
+This bench runs the same campaign in both modes, asserts the inconsistency
+sets are identical and that the incremental engine rebuilds strictly fewer
+backends than it answers pair reports, and emits a ``BENCH_crosscheck.json``
+trajectory point with the measured crosscheck wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.campaign import Campaign
+
+AGENTS = ("reference", "ovs", "modified")
+TESTS = ("stats_request", "set_config")
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_crosscheck.json")
+
+
+def _run_campaign(incremental: bool):
+    started = time.perf_counter()
+    report = (Campaign(replay_testcases=False, incremental=incremental)
+              .with_tests(*TESTS)
+              .with_agents(*AGENTS)
+              .run())
+    elapsed = time.perf_counter() - started
+    crosscheck_time = sum(r.crosscheck.checking_time for r in report.reports)
+    return report, elapsed, crosscheck_time
+
+
+def _inconsistency_sets(report):
+    return {
+        (r.test_key, frozenset((r.agent_a, r.agent_b))):
+            frozenset((i.trace_a, i.trace_b) for i in r.crosscheck.inconsistencies)
+        for r in report.reports
+    }
+
+
+def test_incremental_crosscheck_backend_reuse(run_once):
+    incremental, incremental_wall, incremental_check = run_once(_run_campaign, True)
+    legacy, legacy_wall, legacy_check = _run_campaign(False)
+
+    incremental_rebuilds = incremental.solver_stats["backend_rebuilds"]
+    legacy_rebuilds = legacy.solver_stats.get("sat_backend_runs", 0)
+    print_table(
+        "Incremental crosscheck: backend rebuilds and wall-clock "
+        "(3 agents, all pairs, 2 tests)",
+        ("Strategy", "Backend rebuilds", "Pair reports", "Queries",
+         "Crosscheck time", "Campaign time"),
+        [
+            ("incremental (shared engine)", incremental_rebuilds,
+             incremental.pair_count, incremental.total_queries,
+             "%.3fs" % incremental_check, "%.2fs" % incremental_wall),
+            ("legacy (solver per pair)", legacy_rebuilds,
+             legacy.pair_count, legacy.total_queries,
+             "%.3fs" % legacy_check, "%.2fs" % legacy_wall),
+        ])
+
+    # Identical inconsistency sets: the fast path changes no verdict.
+    assert _inconsistency_sets(incremental) == _inconsistency_sets(legacy)
+    assert incremental.total_queries == legacy.total_queries
+
+    # Strictly fewer backend rebuilds than pair-count x 1: one engine per
+    # test, each group condition encoded once per test.
+    assert incremental_rebuilds < incremental.pair_count
+    assert incremental_rebuilds == len(TESTS)
+    assert incremental.solver_stats["encoding_reuses"] > 0
+
+    payload = {
+        "benchmark": "incremental_crosscheck",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "agents": list(AGENTS),
+        "tests": list(TESTS),
+        "pair_reports": incremental.pair_count,
+        "solver_queries": incremental.total_queries,
+        "inconsistencies": incremental.total_inconsistencies,
+        "identical_inconsistency_sets": True,
+        "incremental": {
+            "backend_rebuilds": incremental_rebuilds,
+            "groups_encoded": incremental.solver_stats["groups_encoded"],
+            "encoding_reuses": incremental.solver_stats["encoding_reuses"],
+            "assumption_solves": incremental.solver_stats["assumption_solves"],
+            "interval_decides": incremental.solver_stats["interval_decides"],
+            "pair_cache_hits": incremental.solver_stats["pair_cache_hits"],
+            "crosscheck_wall_clock": incremental_check,
+            "campaign_wall_clock": incremental_wall,
+        },
+        "legacy": {
+            "backend_rebuilds": legacy_rebuilds,
+            "crosscheck_wall_clock": legacy_check,
+            "campaign_wall_clock": legacy_wall,
+        },
+        "crosscheck_speedup": (legacy_check / incremental_check
+                               if incremental_check > 0 else None),
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(BENCH_PATH))

@@ -39,7 +39,7 @@ or, for a single pair on a single test::
 
 from repro.version import __version__
 from repro.core.soft import SOFT, SoftReport
-from repro.core.campaign import Campaign, CampaignReport, ExplorationCache
+from repro.core.campaign import Campaign, CampaignReport, EncodingCache, ExplorationCache
 from repro.core.artifacts import (
     load_exploration_artifact,
     load_exploration_artifacts,
@@ -58,6 +58,7 @@ __all__ = [
     "SoftReport",
     "Campaign",
     "CampaignReport",
+    "EncodingCache",
     "ExplorationCache",
     "AgentExplorationReport",
     "save_exploration_artifact",

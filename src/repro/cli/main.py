@@ -19,6 +19,7 @@ commands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,7 +31,7 @@ from repro.core.campaign import Campaign
 from repro.core.explorer import explore_agent
 from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
-from repro.core.tests_catalog import TABLE1_TESTS, catalog, get_test
+from repro.core.tests_catalog import TABLE1_TESTS, VALID_SCALES, catalog, get_test
 from repro.errors import ArtifactError, CampaignError
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="pool kind for Phase 1 (process = true CPU parallelism)")
     campaign.add_argument("--no-replay", action="store_true",
                           help="skip concrete replay of generated test cases")
+    campaign.add_argument("--no-incremental", action="store_true",
+                          help="crosscheck with a fresh solver per pair instead of "
+                               "the shared incremental SAT engine")
     campaign.add_argument("--json", metavar="FILE", dest="json_out",
                           help="write the machine-readable report to FILE ('-' = stdout)")
     campaign.add_argument("--quiet", action="store_true",
@@ -164,7 +168,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign(workers=args.workers, executor=args.executor,
-                        replay_testcases=not args.no_replay)
+                        replay_testcases=not args.no_replay,
+                        incremental=not args.no_incremental)
     tests = _split_csv(args.tests) or ["all"]
     campaign.with_tests(*tests)
     agents = _split_csv(args.agents)
@@ -234,6 +239,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
 
+    raw_scale = os.environ.get("SOFT_SCALE")
+    if raw_scale is not None and raw_scale.strip().lower() not in VALID_SCALES:
+        print("error: SOFT_SCALE=%r is not a valid scale; valid scales: %s"
+              % (raw_scale, ", ".join(VALID_SCALES)), file=sys.stderr)
+        return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -16,6 +16,11 @@ work of the public API:
   default executor; ``executor="process"`` runs Phase 1 in separate
   processes for true CPU parallelism (specs that do not pickle — e.g. with
   closure-built inputs — transparently fall back to the thread pool).
+* Phase 2b runs on a campaign-wide :class:`EncodingCache`: one shared
+  incremental SAT engine per test, so each agent's group conditions are
+  bit-blasted **once per test** no matter how many pairs reference them, and
+  every pair query is an assumption-based re-solve of the shared instance.
+  ``incremental=False`` restores the legacy fresh-solver-per-pair behaviour.
 * The result is a :class:`CampaignReport` aggregating one
   :class:`~repro.core.soft.SoftReport` per (test, pair), with totals, timing
   and machine-readable JSON output.
@@ -53,9 +58,9 @@ from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase,
 from repro.core.tests_catalog import TABLE1_TESTS, TestSpec, get_test
 from repro.errors import CampaignError
 from repro.symbex.engine import EngineConfig
-from repro.symbex.solver import Solver, SolverConfig
+from repro.symbex.solver import GroupEncoding, Solver, SolverConfig
 
-__all__ = ["Campaign", "CampaignReport", "ExplorationCache"]
+__all__ = ["Campaign", "CampaignReport", "EncodingCache", "ExplorationCache"]
 
 TestLike = Union[str, TestSpec]
 Pair = Tuple[str, str]
@@ -136,6 +141,47 @@ class ExplorationCache:
             return sum(1 for entry in self._entries.values() if not entry.loaded)
 
 
+class EncodingCache:
+    """Thread-safe store of per-test incremental crosscheck engines.
+
+    All pairs of one campaign that crosscheck the same test share one
+    :class:`~repro.symbex.solver.GroupEncoding`, so a group condition is
+    encoded exactly once per test regardless of how many pairs reference the
+    agent that produced it.
+    """
+
+    def __init__(self, solver_config: Optional[SolverConfig] = None) -> None:
+        self._lock = threading.Lock()
+        self._engines: Dict[Tuple[str, str], GroupEncoding] = {}
+        self.solver_config = solver_config
+
+    def engine_for(self, spec: TestSpec) -> GroupEncoding:
+        with self._lock:
+            key = (spec.key, spec.scale)
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = GroupEncoding(self.solver_config or SolverConfig())
+                engine.bind_test(spec.key)
+                self._engines[key] = engine
+            return engine
+
+    @property
+    def engine_count(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def aggregated(self) -> Dict[str, object]:
+        """Summed counters across every per-test engine."""
+
+        with self._lock:
+            engines = list(self._engines.values())
+        totals: Dict[str, object] = {"mode": "incremental", "engines": len(engines)}
+        for engine in engines:
+            for name, value in engine.stats_dict().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+
 def _explore_spec_unit(agent: str, spec: TestSpec,
                        engine_config: Optional[EngineConfig],
                        solver_config: Optional[SolverConfig],
@@ -181,6 +227,11 @@ class CampaignReport:
     #: Agents whose loaded artifacts were never consumed (excluded by the
     #: pair list); non-empty means a supplied artifact contributed nothing.
     unused_loaded_agents: List[str] = dataclass_field(default_factory=list)
+    #: Whether Phase 2b ran on the shared incremental engines.
+    incremental: bool = True
+    #: Campaign-wide Phase-2b solver counters (mode, encodings reused,
+    #: assumption solves, backend rebuilds, ...).
+    solver_stats: Dict[str, object] = dataclass_field(default_factory=dict)
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -240,6 +291,8 @@ class CampaignReport:
             "explorations_loaded": self.explorations_loaded,
             "cache_hits": self.cache_hits,
             "unused_loaded_agents": list(self.unused_loaded_agents),
+            "incremental": self.incremental,
+            "solver_stats": dict(self.solver_stats),
             "totals": {
                 "pair_reports": self.pair_count,
                 "solver_queries": self.total_queries,
@@ -265,6 +318,21 @@ class CampaignReport:
             "%d exploration(s) saved by the cache"
             % (self.explorations_run, self.explorations_loaded, self.cache_hits),
         ]
+        stats = self.solver_stats or {}
+        if stats.get("mode") == "incremental":
+            lines.append(
+                "  phase 2b: incremental: %d engine(s), %d group(s) encoded "
+                "(%d reused), %d assumption solve(s), %d interval decide(s), "
+                "%d backend rebuild(s)"
+                % (stats.get("engines", 0), stats.get("groups_encoded", 0),
+                   stats.get("encoding_reuses", 0),
+                   stats.get("assumption_solves", 0),
+                   stats.get("interval_decides", 0),
+                   stats.get("backend_rebuilds", 0)))
+        elif stats.get("mode") == "legacy":
+            lines.append(
+                "  phase 2b: legacy: %d backend rebuild(s) across %d query(ies)"
+                % (stats.get("sat_backend_runs", 0), stats.get("queries", 0)))
         if self.unused_loaded_agents:
             lines.append(
                 "  warning: loaded artifact(s) for %s matched no pair and were unused"
@@ -310,7 +378,8 @@ class Campaign:
                  solver_config: Optional[SolverConfig] = None,
                  with_coverage: bool = False,
                  build_testcases: bool = True,
-                 replay_testcases: bool = True) -> None:
+                 replay_testcases: bool = True,
+                 incremental: bool = True) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -321,7 +390,9 @@ class Campaign:
         self.with_coverage = with_coverage
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
+        self.incremental = incremental
         self.cache = ExplorationCache()
+        self.encodings = EncodingCache(solver_config)
         if executor not in ("thread", "process"):
             raise CampaignError("executor must be 'thread' or 'process', got %r" % (executor,))
         if tests is not None:
@@ -535,9 +606,14 @@ class Campaign:
         entry_b = self.cache.get(agent_b, spec)
         shares_a = (exploration_shares or {}).get((agent_a, spec.key), 1)
         shares_b = (exploration_shares or {}).get((agent_b, spec.key), 1)
-        crosscheck = find_inconsistencies(
-            entry_a.grouped, entry_b.grouped,
-            solver=Solver(self.solver_config or SolverConfig()))
+        if self.incremental:
+            crosscheck = find_inconsistencies(
+                entry_a.grouped, entry_b.grouped,
+                engine=self.encodings.engine_for(spec))
+        else:
+            crosscheck = find_inconsistencies(
+                entry_a.grouped, entry_b.grouped,
+                solver=Solver(self.solver_config or SolverConfig()))
 
         testcases: List[ConcreteTestCase] = []
         replays: List[ReplayOutcome] = []
@@ -580,6 +656,7 @@ class Campaign:
 
         loaded_before = self.cache.loaded_count
         hits_before = self.cache.hits
+        encoding_stats_before = self.encodings.aggregated()
         explorations_run = self._run_phase1(specs, paired_agents)
 
         jobs = [(spec, agent_a, agent_b) for spec in specs for agent_a, agent_b in pairs]
@@ -596,6 +673,25 @@ class Campaign:
         else:
             reports = [self._run_pair(*job, exploration_shares=shares) for job in jobs]
 
+        if self.incremental:
+            # Report per-run deltas: engines and their counters persist on
+            # the instance, and a re-run must not double-count earlier work
+            # (same accounting as the exploration cache above).
+            solver_stats = self.encodings.aggregated()
+            for name, value in solver_stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    solver_stats[name] = value - encoding_stats_before.get(name, 0)
+        else:
+            solver_stats = {"mode": "legacy"}
+            for report in reports:
+                for name, value in report.crosscheck.solver_stats.items():
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        continue
+                    if name == "max_query_time":
+                        solver_stats[name] = max(solver_stats.get(name, 0.0), value)
+                    else:
+                        solver_stats[name] = solver_stats.get(name, 0) + value
+
         return CampaignReport(
             tests=[spec.key for spec in specs],
             agents=list(self._agents),
@@ -608,4 +704,6 @@ class Campaign:
             total_time=time.perf_counter() - started,
             unused_loaded_agents=[agent for agent in self.cache.loaded_agent_names()
                                   if agent not in paired_agents],
+            incremental=self.incremental,
+            solver_stats=solver_stats,
         )

@@ -8,7 +8,18 @@ human can judge which (if either) implementation violates the specification.
 
 The number of solver queries is bounded by ``|RES_A| * |RES_B|`` (§3.4); the
 grouping stage has already collapsed thousands of paths into tens of outputs,
-which is what makes this stage cheap.
+which is what makes this stage cheap.  Two solving modes exist:
+
+* **incremental** (the default): a shared
+  :class:`~repro.symbex.solver.incremental.GroupEncoding` bit-blasts each
+  group condition exactly once behind an activation literal, and every pair
+  query re-solves the same SAT instance under the pair's two assumptions.
+  Pass ``engine=`` to share the encoding across several pair reports of the
+  same test (what :class:`~repro.core.campaign.Campaign` does).
+* **legacy**: pass ``solver=`` (or ``incremental=False``) to re-simplify,
+  re-bit-blast and re-solve every pair from scratch through a
+  :class:`~repro.symbex.solver.Solver` — the reference implementation the
+  incremental engine is equivalence-tested against.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from repro.core.grouping import GroupedResults, OutputGroup
 from repro.core.trace import OutputTrace
 from repro.errors import CrosscheckError
 from repro.symbex.expr import BoolExpr, bool_and
-from repro.symbex.solver import Solver, SolverConfig
+from repro.symbex.solver import GroupEncoding, Solver, SolverConfig
 
 __all__ = ["Inconsistency", "CrosscheckReport", "find_inconsistencies"]
 
@@ -70,6 +81,11 @@ class CrosscheckReport:
     unknown_pairs: int
     checking_time: float
     identical_output_pairs: int
+    #: True when ``max_pairs`` stopped the scan before every pair was queried.
+    truncated: bool = False
+    #: How the queries were answered: ``mode`` plus per-mode counters (for the
+    #: incremental mode also an ``engine`` snapshot, cumulative when shared).
+    solver_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def inconsistency_count(self) -> int:
@@ -93,15 +109,36 @@ class CrosscheckReport:
 
 def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
                          solver: Optional[Solver] = None,
-                         max_pairs: Optional[int] = None) -> CrosscheckReport:
-    """Crosscheck two agents' grouped results for one test specification."""
+                         max_pairs: Optional[int] = None,
+                         engine: Optional[GroupEncoding] = None,
+                         incremental: Optional[bool] = None) -> CrosscheckReport:
+    """Crosscheck two agents' grouped results for one test specification.
+
+    *max_pairs* caps the number of solver queries **globally** across the
+    whole pair matrix; a truncated scan is flagged in the report.
+
+    Mode selection: an explicit *engine* drives the incremental path on that
+    (possibly shared) encoding; an explicit *solver* or ``incremental=False``
+    selects the legacy per-query path; by default a fresh incremental engine
+    is created for this report.
+    """
 
     if grouped_a.test_key != grouped_b.test_key:
         raise CrosscheckError(
             "cannot crosscheck different tests: %r vs %r"
             % (grouped_a.test_key, grouped_b.test_key)
         )
-    solver = solver if solver is not None else Solver(SolverConfig())
+    if engine is not None and (solver is not None or incremental is False):
+        raise CrosscheckError(
+            "pass either engine= (incremental) or solver=/incremental=False "
+            "(legacy), not both")
+    use_incremental = engine is not None or (solver is None and incremental is not False)
+    if use_incremental:
+        if engine is None:
+            engine = GroupEncoding(SolverConfig())
+        engine.bind_test(grouped_a.test_key)
+    elif solver is None:
+        solver = Solver(SolverConfig())
 
     started = time.perf_counter()
     inconsistencies: List[Inconsistency] = []
@@ -109,17 +146,27 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
     unsat_pairs = 0
     unknown_pairs = 0
     identical = 0
+    truncated = False
+    via_counts = {"trivial": 0, "interval": 0, "assumption": 0, "pair-cache": 0}
 
     for group_a in grouped_a.groups:
+        if truncated:
+            break
         for group_b in grouped_b.groups:
             if group_a.trace == group_b.trace:
                 identical += 1
                 continue
             if max_pairs is not None and queries >= max_pairs:
+                truncated = True
                 break
             queries += 1
             query_started = time.perf_counter()
-            result = solver.check([group_a.condition, group_b.condition])
+            if use_incremental:
+                outcome = engine.check_pair(group_a.condition, group_b.condition)
+                result = outcome.result
+                via_counts[outcome.via] += 1
+            else:
+                result = solver.check([group_a.condition, group_b.condition])
             elapsed = time.perf_counter() - query_started
             if result.is_sat:
                 inconsistencies.append(Inconsistency(
@@ -136,6 +183,19 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
             else:
                 unknown_pairs += 1
 
+    if use_incremental:
+        solver_stats: Dict[str, object] = {
+            "mode": "incremental",
+            "trivial": via_counts["trivial"],
+            "interval_decides": via_counts["interval"],
+            "assumption_solves": via_counts["assumption"],
+            "pair_cache_hits": via_counts["pair-cache"],
+            "engine": engine.stats_dict(),
+        }
+    else:
+        solver_stats = {"mode": "legacy"}
+        solver_stats.update(solver.stats.as_dict())
+
     return CrosscheckReport(
         agent_a=grouped_a.agent_name,
         agent_b=grouped_b.agent_name,
@@ -146,4 +206,6 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
         unknown_pairs=unknown_pairs,
         checking_time=time.perf_counter() - started,
         identical_output_pairs=identical,
+        truncated=truncated,
+        solver_stats=solver_stats,
     )

@@ -19,7 +19,7 @@ from repro.core.grouping import GroupedResults, group_paths
 from repro.core.testcase import ConcreteTestCase, ReplayOutcome
 from repro.core.tests_catalog import TestSpec
 from repro.symbex.engine import EngineConfig
-from repro.symbex.solver import Solver, SolverConfig
+from repro.symbex.solver import GroupEncoding, Solver, SolverConfig
 
 __all__ = ["SOFT", "SoftReport"]
 
@@ -99,12 +99,14 @@ class SOFT:
                  solver_config: Optional[SolverConfig] = None,
                  with_coverage: bool = False,
                  build_testcases: bool = True,
-                 replay_testcases: bool = True) -> None:
+                 replay_testcases: bool = True,
+                 incremental: bool = True) -> None:
         self.engine_config = engine_config
         self.solver_config = solver_config
         self.with_coverage = with_coverage
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
+        self.incremental = incremental
 
     # ------------------------------------------------------------------
     # Individual phases
@@ -126,6 +128,9 @@ class SOFT:
                    grouped_b: GroupedResults) -> CrosscheckReport:
         """Phase 2b: find inconsistencies between two grouped results."""
 
+        if self.incremental:
+            engine = GroupEncoding(self.solver_config or SolverConfig())
+            return find_inconsistencies(grouped_a, grouped_b, engine=engine)
         return find_inconsistencies(grouped_a, grouped_b,
                                     solver=Solver(self.solver_config or SolverConfig()))
 
@@ -147,6 +152,7 @@ class SOFT:
             with_coverage=self.with_coverage,
             build_testcases=self.build_testcases,
             replay_testcases=self.replay_testcases,
+            incremental=self.incremental,
         )
 
     def run(self, test: Union[str, TestSpec], agent_a: str, agent_b: str) -> SoftReport:

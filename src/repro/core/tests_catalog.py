@@ -21,6 +21,7 @@ Select the scale with the ``SOFT_SCALE`` environment variable or by passing
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -42,7 +43,11 @@ from repro.packetlib.builder import build_ethernet_frame, build_tcp_packet
 from repro.symbex.state import PathState
 from repro.wire.buffer import SymBuffer
 
-__all__ = ["TestSpec", "catalog", "get_test", "TABLE1_TESTS", "current_scale"]
+__all__ = ["TestSpec", "catalog", "get_test", "TABLE1_TESTS", "current_scale",
+           "VALID_SCALES"]
+
+#: The scale profiles a spec can be built at.
+VALID_SCALES = ("small", "paper")
 
 #: Probe constants shared by every spec so traces are comparable.
 PROBE_IN_PORT = 1
@@ -51,10 +56,24 @@ PROBE_TP_SRC = 1234
 
 
 def current_scale() -> str:
-    """The active scale profile (``small`` unless ``SOFT_SCALE=paper``)."""
+    """The active scale profile (``small`` unless ``SOFT_SCALE=paper``).
 
-    scale = os.environ.get("SOFT_SCALE", "small").strip().lower()
-    return scale if scale in ("small", "paper") else "small"
+    Whitespace and case are normalized; any other mismatch (``SOFT_SCALE=large``)
+    falls back to ``small`` with a :class:`RuntimeWarning` naming the valid
+    scales, so a typo cannot silently benchmark the wrong profile.
+    """
+
+    raw = os.environ.get("SOFT_SCALE")
+    if raw is None:
+        return "small"
+    scale = raw.strip().lower()
+    if scale in VALID_SCALES:
+        return scale
+    warnings.warn(
+        "SOFT_SCALE=%r is not a valid scale (valid: %s); falling back to 'small'"
+        % (raw, ", ".join(VALID_SCALES)),
+        RuntimeWarning, stacklevel=2)
+    return "small"
 
 
 @dataclass

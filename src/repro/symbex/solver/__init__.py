@@ -17,6 +17,7 @@ from repro.symbex.solver.cnf import CNFBuilder
 from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.model import extract_model, verify_model
 from repro.symbex.solver.solver import SatResult, Solver, SolverConfig, SolverStats
+from repro.symbex.solver.incremental import GroupEncoding, IncrementalStats, PairOutcome
 
 __all__ = [
     "SATSolver",
@@ -29,4 +30,7 @@ __all__ = [
     "Solver",
     "SolverConfig",
     "SolverStats",
+    "GroupEncoding",
+    "IncrementalStats",
+    "PairOutcome",
 ]

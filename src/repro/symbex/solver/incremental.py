@@ -1,0 +1,265 @@
+"""Incremental crosscheck solving: encode once, solve under assumptions.
+
+Phase 2b asks up to ``|RES_A| * |RES_B|`` satisfiability questions per agent
+pair, and an N-agent campaign asks them for every pair — but the group
+conditions themselves only come from N groupings per test.  The legacy
+pipeline pays full price per query: every pair re-simplifies, re-bit-blasts
+and re-solves both conditions from scratch in a fresh SAT instance.
+
+:class:`GroupEncoding` keeps **one** SAT instance per test.  Each output-group
+condition is simplified and bit-blasted exactly once, guarded by a fresh
+*activation literal* ``act`` with implications ``act -> atom`` for every
+conjunct of the simplified condition.  The pair query (i, j) then becomes
+``solve(assumptions=[act_i, act_j])`` on the shared instance, re-using the
+shared bit-blasting structure and every clause learned while answering
+earlier pairs instead of rebuilding the backend.  The interval pre-check
+still short-circuits trivially-UNSAT (and concretely-verifiable SAT) pairs
+without touching the SAT backend, exactly as the legacy pipeline does.
+
+All public methods are thread-safe.  Pair queries on one engine serialize on
+its lock (the shared SAT instance is stateful); a campaign's thread pool
+still overlaps Phase 2b across *different* tests' engines, and the pure-
+Python backend is GIL-bound either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.errors import SolverError
+from repro.symbex.expr import BoolAnd, BoolConst, BoolExpr
+from repro.symbex.interval import analyze_conjunction
+from repro.symbex.simplify import simplify_bool
+from repro.symbex.solver.bitblast import BitBlaster
+from repro.symbex.solver.cnf import CNFBuilder
+from repro.symbex.solver.model import complete_model, extract_model, require_verified
+from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.symbex.solver.solver import SatResult, SolverConfig
+
+__all__ = ["GroupEncoding", "IncrementalStats", "PairOutcome"]
+
+
+@dataclass
+class IncrementalStats:
+    """Counters of one :class:`GroupEncoding` engine."""
+
+    #: Distinct group conditions bit-blasted into the shared CNF.
+    groups_encoded: int = 0
+    #: Conditions requested again after their first encoding (the saving).
+    encoding_reuses: int = 0
+    #: Queries answered by re-solving the shared instance under assumptions.
+    assumption_solves: int = 0
+    #: SAT instances constructed (1 per engine; the legacy path pays 1/query).
+    backend_rebuilds: int = 0
+    #: Pair queries decided by the interval pre-check (no SAT backend).
+    interval_decides: int = 0
+    #: Pair queries answered from the (condition, condition) result cache.
+    pair_cache_hits: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    encode_time: float = 0.0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "groups_encoded": self.groups_encoded,
+            "encoding_reuses": self.encoding_reuses,
+            "assumption_solves": self.assumption_solves,
+            "backend_rebuilds": self.backend_rebuilds,
+            "interval_decides": self.interval_decides,
+            "pair_cache_hits": self.pair_cache_hits,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "encode_time": self.encode_time,
+            "solve_time": self.solve_time,
+        }
+
+
+@dataclass
+class _EncodedGroup:
+    """One group condition installed in the shared CNF."""
+
+    #: Assuming this literal activates the condition's clauses.
+    activation: int
+    #: The simplified conjuncts (used by the interval pre-check and for
+    #: model verification); empty when the condition simplified to a constant.
+    atoms: List[BoolExpr] = field(default_factory=list)
+    trivially_false: bool = False
+
+
+@dataclass
+class PairOutcome:
+    """Result of one pair query plus how it was decided."""
+
+    result: SatResult
+    #: "trivial" | "interval" | "assumption" | "pair-cache"
+    via: str
+
+
+class GroupEncoding:
+    """Shared incremental encoding of output-group conditions for ONE test.
+
+    Conditions from different tests use different symbolic namespaces and
+    must not share an instance; :meth:`bind_test` enforces this for callers
+    that hold engines in a cache.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config if config is not None else SolverConfig()
+        self.stats = IncrementalStats(backend_rebuilds=1)
+        self._lock = threading.RLock()
+        self._sat = SATSolver()
+        self._cnf = CNFBuilder(self._sat)
+        self._blaster = BitBlaster(self._cnf)
+        self._groups: Dict[tuple, _EncodedGroup] = {}
+        self._pair_cache: Dict[FrozenSet[int], SatResult] = {}
+        self._bound_test: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Guard rails
+    # ------------------------------------------------------------------
+
+    def bind_test(self, test_key: str) -> None:
+        """Pin the engine to one test; reuse across tests is an error."""
+
+        with self._lock:
+            if self._bound_test is None:
+                self._bound_test = test_key
+            elif self._bound_test != test_key:
+                raise SolverError(
+                    "GroupEncoding bound to test %r cannot crosscheck test %r; "
+                    "conditions of different tests must not share one SAT "
+                    "instance" % (self._bound_test, test_key))
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, condition: BoolExpr) -> _EncodedGroup:
+        """Install *condition* behind an activation literal (once per key)."""
+
+        with self._lock:
+            key = condition.key()
+            group = self._groups.get(key)
+            if group is not None:
+                self.stats.encoding_reuses += 1
+                return group
+            started = time.perf_counter()
+            simplified = simplify_bool(condition)
+            if isinstance(simplified, BoolConst):
+                if simplified.value:
+                    group = _EncodedGroup(activation=self._cnf.true_lit)
+                else:
+                    group = _EncodedGroup(activation=self._cnf.false_lit,
+                                          trivially_false=True)
+            else:
+                if isinstance(simplified, BoolAnd):
+                    atoms = list(simplified.operands)
+                else:
+                    atoms = [simplified]
+                activation = self._cnf.new_var()
+                for atom in atoms:
+                    self._cnf.add_clause([-activation, self._blaster.bool_lit(atom)])
+                group = _EncodedGroup(activation=activation, atoms=atoms)
+            self._groups[key] = group
+            self.stats.groups_encoded += 1
+            self.stats.encode_time += time.perf_counter() - started
+            return group
+
+    # ------------------------------------------------------------------
+    # Pair queries
+    # ------------------------------------------------------------------
+
+    def check_pair(self, condition_a: BoolExpr, condition_b: BoolExpr) -> PairOutcome:
+        """Decide satisfiability of ``condition_a AND condition_b``."""
+
+        with self._lock:
+            group_a = self.encode(condition_a)
+            group_b = self.encode(condition_b)
+            started = time.perf_counter()
+            try:
+                return self._check_groups(group_a, group_b)
+            finally:
+                self.stats.solve_time += time.perf_counter() - started
+
+    def _check_groups(self, group_a: _EncodedGroup,
+                      group_b: _EncodedGroup) -> PairOutcome:
+        if group_a.trivially_false or group_b.trivially_false:
+            self.stats.unsat += 1
+            return PairOutcome(SatResult(SATStatus.UNSAT), via="trivial")
+        atoms = group_a.atoms + group_b.atoms
+        if not atoms:
+            self.stats.sat += 1
+            return PairOutcome(SatResult(SATStatus.SAT, model={}), via="trivial")
+
+        cache_key = frozenset((group_a.activation, group_b.activation))
+        if self.config.use_cache:
+            cached = self._pair_cache.get(cache_key)
+            if cached is not None:
+                self.stats.pair_cache_hits += 1
+                return PairOutcome(SatResult(cached.status, dict(cached.model)),
+                                   via="pair-cache")
+
+        if self.config.use_interval_precheck:
+            outcome = analyze_conjunction(atoms)
+            if outcome.is_unsat:
+                self.stats.interval_decides += 1
+                self.stats.unsat += 1
+                self._remember(cache_key, SatResult(SATStatus.UNSAT))
+                return PairOutcome(SatResult(SATStatus.UNSAT), via="interval")
+            if outcome.verified:
+                self.stats.interval_decides += 1
+                self.stats.sat += 1
+                model = complete_model(outcome.candidate, atoms)
+                self._remember(cache_key, SatResult(SATStatus.SAT, model=dict(model)))
+                return PairOutcome(SatResult(SATStatus.SAT, model=model), via="interval")
+
+        self.stats.assumption_solves += 1
+        status = self._sat.solve(
+            assumptions=[group_a.activation, group_b.activation],
+            max_conflicts=self.config.max_conflicts)
+        if status == SATStatus.UNKNOWN:
+            # Never cached: a later call may run with a raised budget.
+            self.stats.unknown += 1
+            return PairOutcome(SatResult(SATStatus.UNKNOWN), via="assumption")
+        if status == SATStatus.UNSAT:
+            self.stats.unsat += 1
+            self._remember(cache_key, SatResult(SATStatus.UNSAT))
+            return PairOutcome(SatResult(SATStatus.UNSAT), via="assumption")
+
+        model = extract_model(self._blaster, self._sat)
+        if self.config.verify_models:
+            model = require_verified(model, atoms)
+        else:
+            model = complete_model(model, atoms)
+        self.stats.sat += 1
+        self._remember(cache_key, SatResult(SATStatus.SAT, model=dict(model)))
+        return PairOutcome(SatResult(SATStatus.SAT, model=model), via="assumption")
+
+    def _remember(self, cache_key: FrozenSet[int], result: SatResult) -> None:
+        if self.config.use_cache:
+            self._pair_cache[cache_key] = result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        with self._lock:
+            return len(self._groups)
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counter snapshot plus the size of the shared backend."""
+
+        with self._lock:
+            snapshot = self.stats.as_dict()
+            snapshot["sat_variables"] = self._sat.num_vars
+            snapshot["sat_clauses"] = self._sat.num_clauses
+            snapshot["backend_solves"] = self._sat.solves
+            return snapshot

@@ -10,6 +10,15 @@ classic conflict-driven clause-learning solver with:
 * geometric restarts,
 * an optional conflict budget so callers can bound worst-case work.
 
+The solver is **incremental**: :meth:`SATSolver.solve` may be called any
+number of times on the same instance, clauses and variables may be added
+between calls, and *assumptions* scope a query to a subset of the formula
+without touching the clause database.  Learned clauses and variable
+activities persist across calls, which is what makes re-querying the same
+instance (the crosscheck engine's ``solve under {act_i, act_j}`` pattern)
+much cheaper than rebuilding it.  The conflict budget is per *call*, not per
+instance lifetime.
+
 Literals use the DIMACS convention: variable ``v`` (a positive integer) has the
 positive literal ``v`` and the negative literal ``-v``.
 """
@@ -62,6 +71,7 @@ class SATSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.solves = 0
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -89,6 +99,10 @@ class SATSolver:
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT."""
 
+        if self._trail_lim:
+            # Clauses may arrive between queries (incremental use); watched
+            # literals must be chosen against the root-level state only.
+            self._backtrack(0)
         seen = set()
         clause: List[int] = []
         for lit in literals:
@@ -303,13 +317,14 @@ class SATSolver:
 
         *assumptions* are literals forced at the start of the search (they act
         like temporary unit clauses).  When *max_conflicts* is given and
-        exhausted, ``UNKNOWN`` is returned.
+        exhausted within this call, ``UNKNOWN`` is returned.  The instance can
+        be re-queried afterwards — each call gets its own conflict budget.
         """
 
+        self.solves += 1
         if self._root_conflict:
             return SATStatus.UNSAT
 
-        self._qhead = 0
         self._backtrack(0)
         self._qhead = 0
         conflict = self._propagate()
@@ -321,6 +336,7 @@ class SATSolver:
             if self._value(lit) is True:
                 continue
             if self._value(lit) is False:
+                self._backtrack(0)
                 return SATStatus.UNSAT
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
@@ -333,13 +349,14 @@ class SATSolver:
         restart_limit = 100
         conflicts_since_restart = 0
         total_budget = max_conflicts
+        conflicts_at_start = self.conflicts
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_since_restart += 1
-                if total_budget is not None and self.conflicts > total_budget:
+                if total_budget is not None and self.conflicts - conflicts_at_start > total_budget:
                     self._backtrack(0)
                     return SATStatus.UNKNOWN
                 if self._decision_level() <= assumption_level:

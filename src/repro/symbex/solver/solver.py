@@ -60,6 +60,9 @@ class SolverStats:
     unsat: int = 0
     unknown: int = 0
     cache_hits: int = 0
+    #: UNKNOWN results deliberately not installed in the query cache (a retry
+    #: with a raised conflict budget must reach the backend again).
+    unknown_cache_skips: int = 0
     interval_decides: int = 0
     sat_backend_runs: int = 0
     total_time: float = 0.0
@@ -73,6 +76,7 @@ class SolverStats:
             "unsat": self.unsat,
             "unknown": self.unknown,
             "cache_hits": self.cache_hits,
+            "unknown_cache_skips": self.unknown_cache_skips,
             "interval_decides": self.interval_decides,
             "sat_backend_runs": self.sat_backend_runs,
             "total_time": self.total_time,
@@ -192,7 +196,13 @@ class Solver:
         result = self._decide(simplified)
 
         if cache_key is not None:
-            self._cache[cache_key] = SatResult(result.status, dict(result.model))
+            if result.is_unknown:
+                # A budget-exhausted answer is not a property of the query;
+                # caching it would make a retry with a raised max_conflicts
+                # return the stale UNKNOWN forever.
+                self.stats.unknown_cache_skips += 1
+            else:
+                self._cache[cache_key] = SatResult(result.status, dict(result.model))
         return result
 
     def _decide(self, constraints: List[BoolExpr]) -> SatResult:

@@ -47,8 +47,22 @@ def test_current_scale_default_is_small(monkeypatch):
     assert current_scale() == "small"
     monkeypatch.setenv("SOFT_SCALE", "paper")
     assert current_scale() == "paper"
-    monkeypatch.setenv("SOFT_SCALE", "bogus")
-    assert current_scale() == "small"
+    # Whitespace and case are normalized silently.
+    monkeypatch.setenv("SOFT_SCALE", "  Paper ")
+    assert current_scale() == "paper"
+
+
+def test_current_scale_warns_on_invalid_value(monkeypatch):
+    monkeypatch.setenv("SOFT_SCALE", "large")
+    with pytest.warns(RuntimeWarning, match="small, paper"):
+        assert current_scale() == "small"
+
+
+def test_cli_rejects_invalid_scale(monkeypatch, capsys):
+    monkeypatch.setenv("SOFT_SCALE", "large")
+    assert cli_main(["list-tests"]) == 2
+    err = capsys.readouterr().err
+    assert "SOFT_SCALE" in err and "small, paper" in err
 
 
 def test_figure4_variants_have_increasing_message_counts():

@@ -77,6 +77,35 @@ def test_sat_assumptions():
     assert solver.solve() == SATStatus.SAT
 
 
+def test_sat_incremental_clause_addition_between_solves():
+    # Clauses may be added after a SAT answer; the instance stays reusable.
+    solver = SATSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve() == SATStatus.SAT
+    solver.add_clause([-a])
+    assert solver.solve() == SATStatus.SAT
+    assert solver.model_value(b) is True
+    solver.add_clause([-b])
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_sat_conflict_budget_is_per_call():
+    # Ten independent selector-guarded conflicts: under each assumption the
+    # default decision heuristic provokes exactly one fresh conflict.  With a
+    # per-instance budget the later calls would exhaust it and go UNKNOWN.
+    solver = SATSolver()
+    selectors = []
+    for _ in range(10):
+        s, a, b = solver.new_var(), solver.new_var(), solver.new_var()
+        solver.add_clause([-s, a, b])
+        solver.add_clause([-s, a, -b])
+        selectors.append(s)
+    statuses = [solver.solve(assumptions=[s], max_conflicts=5) for s in selectors]
+    assert statuses == [SATStatus.SAT] * 10
+    assert solver.solves == 10
+
+
 def test_sat_rejects_unallocated_literal():
     solver = SATSolver()
     with pytest.raises(SolverError):
@@ -223,6 +252,24 @@ def test_solver_cache_hits():
     solver.check([x == 4])
     solver.check([x == 4])
     assert solver.stats.cache_hits >= 1
+
+
+def test_solver_unknown_results_are_not_cached():
+    # A conflict budget of zero forces UNKNOWN on any query that reaches the
+    # SAT backend and conflicts at least once; retrying the same query on the
+    # same solver with a raised budget must reach the backend again instead of
+    # replaying the stale UNKNOWN from the cache.
+    solver = Solver(SolverConfig(max_conflicts=0, use_interval_precheck=False))
+    x = bvvar("x", 8)
+    constraints = [bool_or(x == 5, x == 9)]
+    first = solver.check(constraints)
+    assert first.is_unknown
+    assert solver.stats.unknown_cache_skips == 1
+    solver.config.max_conflicts = 200_000
+    second = solver.check(constraints)
+    assert second.is_sat
+    assert second.model["x"] in (5, 9)
+    assert solver.stats.cache_hits == 0
 
 
 def test_solver_model_verification_is_on_by_default():
