@@ -1,0 +1,93 @@
+"""Phase-1 exploration benchmark: legacy engine vs the prefix-oracle engine.
+
+The legacy engine answers every branch-feasibility question with a full
+:class:`Solver` query — re-simplify, re-bit-blast and re-solve the whole
+path condition in a fresh SAT instance, up to twice per branch.  The
+prefix-oracle engine encodes every distinct branch condition once into one
+shared incremental SAT instance and decides each prefix under assumptions,
+with a prefix-feasibility cache shared across sibling paths.
+
+This bench explores the same test with all three agents under both engines,
+asserts the path-condition sets are identical and that the oracle issues
+strictly fewer solver queries per explored path, and emits a
+``BENCH_explore.json`` trajectory point (paths/sec, solver queries) that the
+bench-smoke CI job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.explorer import explore_agent
+from repro.symbex.engine import EngineConfig
+
+AGENTS = ("reference", "ovs", "modified")
+TEST = "packet_out"
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_explore.json")
+
+
+def _path_set(report):
+    return frozenset(
+        tuple(sorted(constraint.key() for constraint in outcome.constraints))
+        for outcome in report.outcomes
+    )
+
+
+def _run_engine(config: EngineConfig):
+    totals = {"paths": 0, "solver_queries": 0, "wall_clock": 0.0}
+    path_sets = {}
+    for agent in AGENTS:
+        started = time.perf_counter()
+        report = explore_agent(agent, TEST, engine_config=config)
+        totals["wall_clock"] += time.perf_counter() - started
+        totals["paths"] += report.path_count
+        totals["solver_queries"] += int(report.engine_stats["solver_queries"])
+        path_sets[agent] = _path_set(report)
+    totals["paths_per_sec"] = (totals["paths"] / totals["wall_clock"]
+                               if totals["wall_clock"] else 0.0)
+    totals["queries_per_path"] = (totals["solver_queries"] / totals["paths"]
+                                  if totals["paths"] else 0.0)
+    return totals, path_sets
+
+
+def test_exploration_prefix_oracle_benchmark(run_once):
+    legacy, legacy_sets = run_once(_run_engine, EngineConfig(use_prefix_oracle=False))
+    oracle, oracle_sets = _run_engine(EngineConfig())
+
+    identical = legacy_sets == oracle_sets
+    assert identical, "prefix-oracle engine diverged from the legacy path sets"
+    assert oracle["solver_queries"] < legacy["solver_queries"]
+    assert oracle["queries_per_path"] < legacy["queries_per_path"]
+
+    print_table(
+        "Phase-1 exploration: legacy full-query engine vs prefix oracle "
+        "(%s, %d agents)" % (TEST, len(AGENTS)),
+        ("Engine", "Paths", "Solver queries", "Queries/path", "Paths/sec",
+         "Wall-clock"),
+        [
+            ("legacy", legacy["paths"], legacy["solver_queries"],
+             "%.2f" % legacy["queries_per_path"],
+             "%.0f" % legacy["paths_per_sec"],
+             "%.2fs" % legacy["wall_clock"]),
+            ("prefix-oracle", oracle["paths"], oracle["solver_queries"],
+             "%.2f" % oracle["queries_per_path"],
+             "%.0f" % oracle["paths_per_sec"],
+             "%.2fs" % oracle["wall_clock"]),
+        ])
+
+    payload = {
+        "test": TEST,
+        "agents": list(AGENTS),
+        "identical_path_sets": identical,
+        "legacy": legacy,
+        "prefix_oracle": oracle,
+        "query_reduction": 1.0 - (oracle["solver_queries"]
+                                  / float(legacy["solver_queries"])),
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

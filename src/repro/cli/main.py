@@ -33,6 +33,7 @@ from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
 from repro.core.tests_catalog import TABLE1_TESTS, VALID_SCALES, catalog, get_test
 from repro.errors import ArtifactError, CampaignError
+from repro.symbex.strategies import strategy_names
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="test to explore (required unless --load is given)")
     explore.add_argument("--coverage", action="store_true",
                          help="also report instruction/branch coverage")
+    explore.add_argument("--strategy", choices=strategy_names(), default=None,
+                         help="frontier discipline for Phase 1 (default: dfs); "
+                              "all strategies explore the same path set")
+    explore.add_argument("--workers", type=int, default=1,
+                         help="split this exploration's frontier across N thread "
+                              "engines (GIL-bound: bounds per-engine state, not a "
+                              "CPU speedup; see campaign --executor process)")
     explore.add_argument("--save", metavar="FILE",
                          help="save the Phase-1 artifact (vendor exchange format) as JSON")
     explore.add_argument("--load", metavar="FILE",
@@ -95,6 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-incremental", action="store_true",
                           help="crosscheck with a fresh solver per pair instead of "
                                "the shared incremental SAT engine")
+    campaign.add_argument("--strategy", choices=strategy_names(), default=None,
+                          help="Phase-1 frontier discipline (default: dfs)")
     campaign.add_argument("--json", metavar="FILE", dest="json_out",
                           help="write the machine-readable report to FILE ('-' = stdout)")
     campaign.add_argument("--quiet", action="store_true",
@@ -132,6 +142,12 @@ def _print_exploration_summary(report, grouped) -> None:
     print("  paths explored:        %d" % report.path_count)
     print("  distinct outputs:      %d" % grouped.distinct_output_count)
     print("  cpu time:              %.2fs" % report.cpu_time)
+    engine_stats = report.engine_stats or {}
+    if engine_stats.get("strategy"):
+        print("  strategy:              %s (workers=%d)"
+              % (engine_stats["strategy"], int(engine_stats.get("workers") or 1)))
+    if engine_stats.get("solver_queries") is not None:
+        print("  solver queries:        %d" % engine_stats["solver_queries"])
     print("  avg constraint size:   %.1f" % report.average_constraint_size())
     print("  max constraint size:   %d" % report.max_constraint_size())
     if report.coverage is not None:
@@ -150,7 +166,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print("error: --agent and --test are required unless --load is given",
                   file=sys.stderr)
             return 2
-        report = explore_agent(args.agent, args.test, with_coverage=args.coverage)
+        report = explore_agent(args.agent, args.test, with_coverage=args.coverage,
+                               strategy=args.strategy, workers=args.workers)
     grouped = group_paths(report)
     _print_exploration_summary(report, grouped)
     if args.save:
@@ -169,7 +186,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign(workers=args.workers, executor=args.executor,
                         replay_testcases=not args.no_replay,
-                        incremental=not args.no_incremental)
+                        incremental=not args.no_incremental,
+                        strategy=args.strategy)
     tests = _split_csv(args.tests) or ["all"]
     campaign.with_tests(*tests)
     agents = _split_csv(args.agents)

@@ -58,7 +58,7 @@ from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase,
 from repro.core.tests_catalog import TABLE1_TESTS, TestSpec, get_test
 from repro.errors import CampaignError
 from repro.symbex.engine import EngineConfig
-from repro.symbex.solver import GroupEncoding, Solver, SolverConfig
+from repro.symbex.solver import GroupEncoding, Solver, SolverConfig, merge_stat_dicts
 
 __all__ = ["Campaign", "CampaignReport", "EncodingCache", "ExplorationCache"]
 
@@ -103,6 +103,12 @@ class ExplorationCache:
     def contains(self, agent: str, spec: TestSpec) -> bool:
         with self._lock:
             return self._key(agent, spec) in self._entries
+
+    def peek(self, agent: str, spec: TestSpec) -> Optional[_CacheEntry]:
+        """The cached entry, without touching the hit/use accounting."""
+
+        with self._lock:
+            return self._entries.get(self._key(agent, spec))
 
     def get(self, agent: str, spec: TestSpec) -> _CacheEntry:
         with self._lock:
@@ -185,12 +191,15 @@ class EncodingCache:
 def _explore_spec_unit(agent: str, spec: TestSpec,
                        engine_config: Optional[EngineConfig],
                        solver_config: Optional[SolverConfig],
-                       with_coverage: bool) -> Tuple[AgentExplorationReport, float]:
+                       with_coverage: bool,
+                       strategy: Optional[str] = None,
+                       workers: int = 1) -> Tuple[AgentExplorationReport, float]:
     """Phase 1 for one unit; module-level so process pools can run it."""
 
     started = time.perf_counter()
     report = explore_agent(agent, spec, engine_config=engine_config,
-                           solver_config=solver_config, with_coverage=with_coverage)
+                           solver_config=solver_config, with_coverage=with_coverage,
+                           strategy=strategy, workers=workers)
     return report, time.perf_counter() - started
 
 
@@ -232,6 +241,9 @@ class CampaignReport:
     #: Campaign-wide Phase-2b solver counters (mode, encodings reused,
     #: assumption solves, backend rebuilds, ...).
     solver_stats: Dict[str, object] = dataclass_field(default_factory=dict)
+    #: One row per (agent, test) Phase-1 exploration this campaign consumed:
+    #: strategy, workers, paths, solver queries, truncation.
+    exploration_stats: List[Dict[str, object]] = dataclass_field(default_factory=list)
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -293,6 +305,7 @@ class CampaignReport:
             "unused_loaded_agents": list(self.unused_loaded_agents),
             "incremental": self.incremental,
             "solver_stats": dict(self.solver_stats),
+            "explorations": [dict(row) for row in self.exploration_stats],
             "totals": {
                 "pair_reports": self.pair_count,
                 "solver_queries": self.total_queries,
@@ -318,6 +331,17 @@ class CampaignReport:
             "%d exploration(s) saved by the cache"
             % (self.explorations_run, self.explorations_loaded, self.cache_hits),
         ]
+        explored = [row for row in self.exploration_stats if not row.get("loaded")]
+        if explored:
+            strategies = sorted({str(row.get("strategy")) for row in explored
+                                 if row.get("strategy")})
+            lines.append(
+                "  phase 1 engine: strategy=%s, %d path(s), %d solver query(ies), "
+                "max %d worker(s) per exploration"
+                % ("/".join(strategies) or "dfs",
+                   sum(int(row.get("paths") or 0) for row in explored),
+                   sum(int(row.get("solver_queries") or 0) for row in explored),
+                   max(int(row.get("workers") or 1) for row in explored)))
         stats = self.solver_stats or {}
         if stats.get("mode") == "incremental":
             lines.append(
@@ -379,7 +403,8 @@ class Campaign:
                  with_coverage: bool = False,
                  build_testcases: bool = True,
                  replay_testcases: bool = True,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 strategy: Optional[str] = None) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -391,6 +416,9 @@ class Campaign:
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
         self.incremental = incremental
+        self.strategy: Optional[str] = None
+        if strategy is not None:
+            self.with_strategy(strategy)
         self.cache = ExplorationCache()
         self.encodings = EncodingCache(solver_config)
         if executor not in ("thread", "process"):
@@ -451,6 +479,18 @@ class Campaign:
             checked.append((pair[0], pair[1]))
             self.with_agents(*pair)
         self._pairs = (self._pairs or []) + checked
+        return self
+
+    def with_strategy(self, strategy: str) -> "Campaign":
+        """Select the Phase-1 search strategy (dfs/bfs/random/coverage)."""
+
+        from repro.symbex.strategies import STRATEGIES
+
+        if strategy not in STRATEGIES:
+            raise CampaignError(
+                "unknown search strategy %r (available: %s)"
+                % (strategy, ", ".join(sorted(STRATEGIES))))
+        self.strategy = strategy
         return self
 
     def with_workers(self, workers: int, executor: Optional[str] = None) -> "Campaign":
@@ -567,19 +607,29 @@ class Campaign:
                     futures = [
                         pool.submit(_explore_spec_unit, agent, spec,
                                     self.engine_config, self.solver_config,
-                                    self.with_coverage)
+                                    self.with_coverage, self.strategy)
                         for agent, spec in process_units
                     ]
                     for (agent, spec), future in zip(process_units, futures):
                         report, wall = future.result()
                         self.cache.seed(report, spec, wall_time=wall)
 
+        # When the pool is wider than the unit list, leftover width goes into
+        # each unit: the engine splits that test's exploration frontier across
+        # split_workers thread engines.  On GIL-bound CPython this bounds
+        # per-engine state rather than multiplying throughput; true CPU
+        # parallelism across units comes from executor="process".
+        split_workers = 1
+        if self.workers > 1 and thread_units and len(thread_units) < self.workers:
+            split_workers = max(1, self.workers // len(thread_units))
+
         def explore_one(unit: Tuple[str, TestSpec]) -> None:
             agent, spec = unit
             started = time.perf_counter()
             report = explore_agent(agent, spec, engine_config=self.engine_config,
                                    solver_config=self.solver_config,
-                                   with_coverage=self.with_coverage)
+                                   with_coverage=self.with_coverage,
+                                   strategy=self.strategy, workers=split_workers)
             self.cache.seed(report, spec, wall_time=time.perf_counter() - started)
 
         if self.workers > 1 and len(thread_units) > 1:
@@ -684,13 +734,28 @@ class Campaign:
         else:
             solver_stats = {"mode": "legacy"}
             for report in reports:
-                for name, value in report.crosscheck.solver_stats.items():
-                    if not isinstance(value, (int, float)) or isinstance(value, bool):
-                        continue
-                    if name == "max_query_time":
-                        solver_stats[name] = max(solver_stats.get(name, 0.0), value)
-                    else:
-                        solver_stats[name] = solver_stats.get(name, 0) + value
+                merge_stat_dicts(solver_stats, report.crosscheck.solver_stats)
+
+        exploration_stats: List[Dict[str, object]] = []
+        for spec in specs:
+            for agent in paired_agents:
+                entry = self.cache.peek(agent, spec)
+                if entry is None:
+                    continue
+                engine_stats = entry.report.engine_stats or {}
+                exploration_stats.append({
+                    "agent": agent,
+                    "test": spec.key,
+                    "scale": spec.scale,
+                    "loaded": entry.loaded,
+                    "paths": entry.report.path_count,
+                    "strategy": engine_stats.get("strategy"),
+                    "workers": engine_stats.get("workers", 1),
+                    "solver_queries": engine_stats.get("solver_queries"),
+                    "discarded_replays": engine_stats.get("discarded_replays", 0),
+                    "truncated": entry.report.truncated,
+                    "wall_time": entry.wall_time,
+                })
 
         return CampaignReport(
             tests=[spec.key for spec in specs],
@@ -706,4 +771,5 @@ class Campaign:
                                   if agent not in paired_agents],
             incremental=self.incremental,
             solver_stats=solver_stats,
+            exploration_stats=exploration_stats,
         )

@@ -10,7 +10,7 @@ vendor would hand to the crosschecking party in the paper's usage model
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.agents import make_agent
@@ -19,9 +19,15 @@ from repro.core.tests_catalog import TestSpec, get_test
 from repro.core.trace import OutputTrace, normalize_events
 from repro.coverage.tracker import CoverageReport, CoverageTracker
 from repro.harness.driver import TestDriver
-from repro.symbex.engine import Engine, EngineConfig, ExplorationResult, PathRecord
+from repro.symbex.engine import (
+    EngineConfig,
+    ExplorationResult,
+    PathRecord,
+    explore_parallel,
+)
 from repro.symbex.expr import BoolExpr
 from repro.symbex.solver import Solver, SolverConfig
+from repro.symbex.strategies import make_strategy
 
 __all__ = ["PathOutcome", "AgentExplorationReport", "explore_agent"]
 
@@ -194,38 +200,60 @@ def explore_agent(agent: AgentSpec,
                   engine_config: Optional[EngineConfig] = None,
                   solver_config: Optional[SolverConfig] = None,
                   with_coverage: bool = False,
-                  coverage_packages: Optional[Sequence[str]] = None) -> AgentExplorationReport:
-    """Run Phase 1 for one agent and one test specification."""
+                  coverage_packages: Optional[Sequence[str]] = None,
+                  strategy: Optional[str] = None,
+                  workers: int = 1) -> AgentExplorationReport:
+    """Run Phase 1 for one agent and one test specification.
+
+    *strategy* selects the frontier discipline (overriding
+    ``engine_config.strategy``); *workers* > 1 splits the exploration
+    frontier across that many engines running in a thread pool, each with
+    its own driver, solver, oracle and coverage tracker (per-worker
+    coverage is unioned into one report).
+    """
 
     agent_name, factory = _resolve_agent_factory(agent)
     spec = get_test(test) if isinstance(test, str) else test
 
-    tracker: Optional[CoverageTracker] = None
-    if with_coverage:
-        packages = list(coverage_packages) if coverage_packages else [
-            "repro.agents.common", "repro.agents.%s" % agent_name,
-        ]
-        tracker = CoverageTracker(packages=packages)
+    config = engine_config if engine_config is not None else EngineConfig()
+    if strategy is not None and strategy != config.strategy:
+        config = replace(config, strategy=strategy)
+    workers = max(1, int(workers))
 
-    driver = TestDriver(agent_factory=factory, inputs=spec.inputs, coverage_tracker=tracker)
-    engine = Engine(solver=Solver(solver_config or SolverConfig()),
-                    config=engine_config or EngineConfig())
+    packages = list(coverage_packages) if coverage_packages else [
+        "repro.agents.common", "repro.agents.%s" % agent_name,
+    ]
+    trackers: List[Optional[CoverageTracker]] = []
+
+    def setup(index: int):
+        worker_tracker = CoverageTracker(packages=packages) if with_coverage else None
+        trackers.append(worker_tracker)
+        driver = TestDriver(agent_factory=factory, inputs=spec.inputs,
+                            coverage_tracker=worker_tracker)
+        frontier = make_strategy(config.strategy, seed=config.strategy_seed + index,
+                                 tracker=worker_tracker)
+        return driver.program, frontier
 
     started = time.process_time()
     wall_started = time.perf_counter()
-    result: ExplorationResult = engine.explore(driver.program)
+    result: ExplorationResult = explore_parallel(
+        setup, workers, config=config,
+        solver_factory=lambda: Solver(solver_config or SolverConfig()))
     cpu_time = time.process_time() - started
     wall_time = time.perf_counter() - wall_started
 
+    tracker: Optional[CoverageTracker] = None
+    if with_coverage:
+        tracker = trackers[0]
+        for other in trackers[1:]:
+            if other is not None:
+                tracker.merge_from(other)
+
     outcomes = [_outcome_from_record(record) for record in result.paths]
-    engine_stats = {
-        "paths": result.stats.paths,
-        "failed_paths": result.stats.failed_paths,
-        "decisions": result.stats.decisions,
-        "forks": result.stats.forks,
-        "forced_decisions": result.stats.forced_decisions,
-        "wall_time": wall_time,
-    }
+    engine_stats = result.stats.as_dict()
+    engine_stats["wall_time"] = wall_time
+    for name, value in result.strategy_metrics.items():
+        engine_stats.setdefault(name, value)
 
     report = AgentExplorationReport(
         agent_name=agent_name,

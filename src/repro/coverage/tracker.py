@@ -190,6 +190,20 @@ class CoverageTracker:
             self.arcs[path].clear()
         self._last_line.clear()
 
+    def merge_from(self, other: "CoverageTracker") -> None:
+        """Fold another tracker's executed lines/arcs into this one.
+
+        Used after parallel exploration: each worker records coverage on its
+        own tracker (``sys.settrace`` is per-thread) and the per-worker
+        results are unioned into one report.  Both trackers must have been
+        built over the same packages.
+        """
+
+        for path, lines in other.executed.items():
+            self.executed.setdefault(path, set()).update(lines)
+        for path, arcs in other.arcs.items():
+            self.arcs.setdefault(path, set()).update(arcs)
+
     def report(self, modules: Optional[Iterable[str]] = None) -> CoverageReport:
         """Aggregate coverage, optionally restricted to module-name prefixes."""
 

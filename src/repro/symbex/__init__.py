@@ -44,10 +44,20 @@ from repro.symbex.expr import (
     sign_extend,
     zero_extend,
 )
-from repro.symbex.engine import Engine, ExplorationResult, PathRecord, active_engine
+from repro.symbex.engine import (
+    Engine,
+    EngineConfig,
+    ExplorationResult,
+    ExplorationStats,
+    PathBudget,
+    PathRecord,
+    active_engine,
+    explore_parallel,
+)
 from repro.symbex.simplify import simplify, simplify_bool
-from repro.symbex.solver import SatResult, Solver, SolverConfig
+from repro.symbex.solver import PrefixOracle, SatResult, Solver, SolverConfig
 from repro.symbex.state import PathCondition, PathState
+from repro.symbex.strategies import SearchStrategy, make_strategy, strategy_names
 
 __all__ = [
     "BitVec",
@@ -71,14 +81,22 @@ __all__ = [
     "sign_extend",
     "zero_extend",
     "Engine",
+    "EngineConfig",
     "ExplorationResult",
+    "ExplorationStats",
+    "PathBudget",
     "PathRecord",
     "active_engine",
+    "explore_parallel",
     "simplify",
     "simplify_bool",
+    "PrefixOracle",
     "SatResult",
     "Solver",
     "SolverConfig",
     "PathCondition",
     "PathState",
+    "SearchStrategy",
+    "make_strategy",
+    "strategy_names",
 ]

@@ -1,4 +1,4 @@
-"""The path-exploration engine.
+"""The path-exploration engine: scheduler + strategy + feasibility oracle.
 
 The engine explores every feasible execution path of a deterministic Python
 program that computes on symbolic bit-vectors.  The mechanism is the classic
@@ -6,19 +6,34 @@ program that computes on symbolic bit-vectors.  The mechanism is the classic
 identified by the sequence of boolean outcomes taken at symbolic branches; the
 engine re-runs the program from scratch once per path, replaying a recorded
 prefix of decisions and scheduling the unexplored sibling of every new branch
-for a later run (depth-first).
+for a later run.
 
 Compared to state-forking engines (KLEE/Cloud9) this trades CPU time
 (re-execution) for implementation simplicity and for the ability to execute
 completely ordinary Python code — which is exactly the trade-off a pure-Python
 reproduction wants.  The artefacts it produces per path are identical to what
 SOFT consumes: a path condition and an output event log.
+
+The engine is layered:
+
+* the **scheduler** (:meth:`Engine.explore`) pops prefixes, re-executes the
+  program, enforces budgets, and can hand a partially-explored frontier to
+  other engines (``frontier_target`` / ``initial_frontier`` — the basis of
+  :func:`explore_parallel`);
+* the **strategy** (:mod:`repro.symbex.strategies`) owns the pending-prefix
+  frontier and decides exploration order (DFS/BFS/random/coverage-guided);
+* the **feasibility oracle** (:mod:`repro.symbex.solver.oracle`) answers
+  "is this branch side feasible?" by assumption-based re-solving of one
+  shared incremental SAT instance, instead of the legacy fresh
+  :class:`Solver` query per branch side (``EngineConfig.use_prefix_oracle=
+  False`` restores the legacy behaviour; both yield the same path set).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,15 +53,21 @@ from repro.symbex.expr import (
     set_branch_hook,
 )
 from repro.symbex.simplify import simplify_bool
-from repro.symbex.solver import SatResult, Solver, SolverConfig
+from repro.symbex.solver import SatResult, Solver, SolverConfig, merge_stat_dicts
+from repro.symbex.solver.oracle import PrefixOracle
+from repro.symbex.solver.sat import SATStatus
 from repro.symbex.state import PathCondition, PathState
+from repro.symbex.strategies import Prefix, SearchStrategy, make_strategy
 
 __all__ = [
     "EngineConfig",
     "Engine",
     "PathRecord",
+    "PathBudget",
+    "ExplorationStats",
     "ExplorationResult",
     "active_engine",
+    "explore_parallel",
 ]
 
 _thread_local = threading.local()
@@ -70,7 +91,8 @@ class _PathAbort(Exception):
 class EngineConfig:
     """Exploration limits and policies."""
 
-    #: Hard cap on the number of completed paths (None = unlimited).
+    #: Hard cap on the number of path attempts — completed plus discarded
+    #: replays (None = unlimited).
     max_paths: Optional[int] = 200_000
     #: Hard cap on symbolic branch decisions along a single path.
     max_decisions_per_path: int = 4_096
@@ -78,6 +100,33 @@ class EngineConfig:
     time_budget: Optional[float] = None
     #: Raise instead of silently truncating when a limit is hit.
     strict_limits: bool = False
+    #: Frontier discipline: "dfs", "bfs", "random" or "coverage"
+    #: (:mod:`repro.symbex.strategies`).
+    strategy: str = "dfs"
+    #: Seed for the "random" strategy (deterministic exploration order).
+    strategy_seed: int = 0
+    #: Decide branch feasibility with the incremental :class:`PrefixOracle`
+    #: instead of a fresh full :class:`Solver` query per branch side.
+    use_prefix_oracle: bool = True
+
+
+class PathBudget:
+    """Thread-safe path-attempt budget shared by engines splitting a frontier."""
+
+    def __init__(self, max_paths: Optional[int]) -> None:
+        self._lock = threading.Lock()
+        self._remaining = max_paths
+
+    def claim(self) -> bool:
+        """Take one attempt from the budget; False when it is exhausted."""
+
+        with self._lock:
+            if self._remaining is None:
+                return True
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            return True
 
 
 @dataclass
@@ -111,10 +160,36 @@ class ExplorationStats:
     decisions: int = 0
     forced_decisions: int = 0
     forks: int = 0
+    #: Replays abandoned via abort_current_path(); they produce no record
+    #: but still count against the max_paths attempt budget.
+    discarded_replays: int = 0
+    #: Decision-procedure checks issued *by this exploration* (branch
+    #: feasibility + concretization) — a per-run delta, not the cumulative
+    #: counter of a possibly-reused solver.
     solver_queries: int = 0
     wall_time: float = 0.0
     truncated: bool = False
     truncation_reason: Optional[str] = None
+    #: Frontier discipline this exploration ran with.
+    strategy: str = "dfs"
+    #: Engines the frontier was split across (1 = sequential).
+    workers: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "paths": self.paths,
+            "failed_paths": self.failed_paths,
+            "decisions": self.decisions,
+            "forced_decisions": self.forced_decisions,
+            "forks": self.forks,
+            "discarded_replays": self.discarded_replays,
+            "solver_queries": self.solver_queries,
+            "wall_time": self.wall_time,
+            "truncated": self.truncated,
+            "truncation_reason": self.truncation_reason,
+            "strategy": self.strategy,
+            "workers": self.workers,
+        }
 
 
 @dataclass
@@ -124,6 +199,11 @@ class ExplorationResult:
     paths: List[PathRecord]
     stats: ExplorationStats
     solver_stats: Dict[str, float]
+    #: Prefixes left unexplored when the scheduler stopped early (budget
+    #: truncation or a ``frontier_target`` handoff); empty when exhaustive.
+    frontier: List[Prefix] = field(default_factory=list)
+    #: Frontier-discipline counters from the strategy that ran.
+    strategy_metrics: Dict[str, object] = field(default_factory=dict)
 
     def successful_paths(self) -> List[PathRecord]:
         return [p for p in self.paths if p.ok]
@@ -142,36 +222,78 @@ class ExplorationResult:
 
 
 class Engine:
-    """Depth-first exhaustive exploration of a symbolic program."""
+    """Exhaustive exploration of a symbolic program, strategy-scheduled."""
 
     def __init__(self, solver: Optional[Solver] = None,
-                 config: Optional[EngineConfig] = None) -> None:
+                 config: Optional[EngineConfig] = None,
+                 strategy: Optional[SearchStrategy] = None) -> None:
         self.solver = solver if solver is not None else Solver(SolverConfig())
         self.config = config if config is not None else EngineConfig()
+        #: Optional pre-built strategy instance; overrides config.strategy
+        #: (used to hand a coverage tracker to the coverage-guided strategy).
+        self.strategy = strategy
+        self._oracle: Optional[PrefixOracle] = None
         self._current_state: Optional[PathState] = None
-        self._current_prefix: Tuple[bool, ...] = ()
-        self._pending: List[Tuple[bool, ...]] = []
+        self._current_prefix: Prefix = ()
+        self._frontier: Optional[SearchStrategy] = None
         self._stats = ExplorationStats()
         self._deadline: Optional[float] = None
+        # Literal mirror of the current path condition (oracle mode).
+        self._path_lits: List[int] = []
+        self._synced_constraints = 0
+
+    @property
+    def oracle(self) -> Optional[PrefixOracle]:
+        """The prefix-feasibility oracle (lazily built; None in legacy mode)."""
+
+        if self._oracle is None and self.config.use_prefix_oracle:
+            self._oracle = PrefixOracle(self.solver.config)
+        return self._oracle
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def explore(self, program: Callable[[PathState], Any]) -> ExplorationResult:
+    def explore(self, program: Callable[[PathState], Any], *,
+                initial_frontier: Optional[Sequence[Prefix]] = None,
+                frontier_target: Optional[int] = None,
+                budget: Optional[PathBudget] = None,
+                deadline: Optional[float] = None) -> ExplorationResult:
         """Run *program* once per feasible path and collect all path records.
 
         *program* receives a fresh :class:`PathState` per path.  It must be
         deterministic: for the same sequence of branch outcomes it must make
         the same branch queries in the same order.
+
+        Scheduler extensions (all optional, used by :func:`explore_parallel`):
+        *initial_frontier* seeds the frontier with recorded prefixes instead
+        of the root; *frontier_target* stops (without marking truncation)
+        once the frontier holds that many prefixes, returning them in
+        :attr:`ExplorationResult.frontier`; *budget* shares a path-attempt
+        budget across engines; *deadline* is an absolute
+        ``time.perf_counter()`` cutoff overriding ``config.time_budget``.
         """
 
         started = time.perf_counter()
         self._stats = ExplorationStats()
-        self._pending = [()]
-        self._deadline = (
-            started + self.config.time_budget if self.config.time_budget else None
-        )
+        strategy = self._make_frontier()
+        self._frontier = strategy
+        self._stats.strategy = strategy.name
+        for prefix in (initial_frontier if initial_frontier is not None else [()]):
+            strategy.push(tuple(prefix))
+        if deadline is not None:
+            self._deadline = deadline
+        elif self.config.time_budget:
+            self._deadline = started + self.config.time_budget
+        else:
+            self._deadline = None
+
+        solver_queries_before = self.solver.stats.queries
+        solver_stats_before = self.solver.stats.as_dict()
+        oracle = self.oracle
+        oracle_solves_before = oracle.stats.assumption_solves if oracle else 0
+        oracle_stats_before = oracle.stats_dict() if oracle else {}
+
         records: List[PathRecord] = []
         path_id = 0
 
@@ -179,18 +301,32 @@ class Engine:
         _thread_local.engine = self
         previous_hook = set_branch_hook(self._branch_hook)
         try:
-            while self._pending:
-                if self.config.max_paths is not None and path_id >= self.config.max_paths:
-                    self._note_truncation("max_paths")
-                    break
+            while len(strategy):
                 if self._deadline is not None and time.perf_counter() > self._deadline:
                     self._note_truncation("time_budget")
                     break
-                prefix = self._pending.pop()
+                if frontier_target is not None and len(strategy) >= frontier_target:
+                    break  # frontier handoff to other engines, not a truncation
+                if budget is not None:
+                    if not budget.claim():
+                        self._note_truncation("max_paths")
+                        break
+                elif (self.config.max_paths is not None
+                      and path_id + self._stats.discarded_replays >= self.config.max_paths):
+                    self._note_truncation("max_paths")
+                    break
+                prefix = strategy.pop()
                 record = self._run_one(program, path_id, prefix)
-                if record is not None:
-                    records.append(record)
-                    path_id += 1
+                if record is None:
+                    # Aborted replay: no record, but the attempt still counts
+                    # against the path budget so infeasible prefixes cannot
+                    # spin the scheduler past its limits.
+                    self._stats.discarded_replays += 1
+                    strategy.on_path_discarded()
+                    continue
+                records.append(record)
+                strategy.on_path_complete(record)
+                path_id += 1
         finally:
             set_branch_hook(previous_hook)
             _thread_local.engine = previous_engine
@@ -199,23 +335,65 @@ class Engine:
         self._stats.paths = len(records)
         self._stats.failed_paths = sum(1 for r in records if not r.ok)
         self._stats.wall_time = time.perf_counter() - started
-        self._stats.solver_queries = self.solver.stats.queries
+        concretize_queries = self.solver.stats.queries - solver_queries_before
+        self._stats.solver_queries = concretize_queries + (
+            oracle.stats.assumption_solves - oracle_solves_before if oracle else 0)
         return ExplorationResult(
             paths=records,
             stats=self._stats,
-            solver_stats=self.solver.stats.as_dict(),
+            solver_stats=self._solver_stats_snapshot(
+                concretize_queries,
+                oracle_stats_before if oracle else solver_stats_before),
+            frontier=strategy.drain(),
+            strategy_metrics=strategy.metrics(),
         )
+
+    # ------------------------------------------------------------------
+    # Frontier / reporting helpers
+    # ------------------------------------------------------------------
+
+    def _make_frontier(self) -> SearchStrategy:
+        if self.strategy is not None:
+            self.strategy.reset()
+            return self.strategy
+        return make_strategy(self.config.strategy, seed=self.config.strategy_seed)
+
+    #: solver_stats entries that describe instance *state*, not per-run work;
+    #: they stay absolute when the snapshot is converted to per-run deltas.
+    _STATS_GAUGES = ("sat_variables", "sat_clauses", "max_query_time")
+
+    def _solver_stats_snapshot(self, concretize_queries: int,
+                               before: Dict[str, float]) -> Dict[str, float]:
+        """Per-run solver counters (a reused engine must not accumulate)."""
+
+        if self._oracle is not None:
+            stats = self._oracle.stats_dict()
+            mode = "prefix-oracle"
+        else:
+            stats = self.solver.stats.as_dict()
+            mode = "legacy"
+        for name, value in before.items():
+            if name in self._STATS_GAUGES or name not in stats:
+                continue
+            stats[name] = stats[name] - value
+        stats["mode"] = mode
+        if self._oracle is not None:
+            stats["queries"] = self._stats.solver_queries
+            stats["concretize_queries"] = concretize_queries
+        return stats
 
     # ------------------------------------------------------------------
     # Single-path execution
     # ------------------------------------------------------------------
 
     def _run_one(self, program: Callable[[PathState], Any], path_id: int,
-                 prefix: Tuple[bool, ...]) -> Optional[PathRecord]:
+                 prefix: Prefix) -> Optional[PathRecord]:
         state = PathState(path_id=path_id)
         state._engine = self
         self._current_state = state
         self._current_prefix = prefix
+        self._path_lits = []
+        self._synced_constraints = 0
         error: Optional[str] = None
         result: Any = None
         try:
@@ -227,6 +405,8 @@ class Engine:
             if self.config.strict_limits:
                 raise
             error = "%s: %s" % (type(exc).__name__, exc)
+            if isinstance(exc, DecisionLimitExceeded):
+                self._note_truncation("max_decisions_per_path")
         except Exception as exc:  # noqa: BLE001 - program bugs become path errors
             error = "%s: %s" % (type(exc).__name__, exc)
         return PathRecord(
@@ -261,32 +441,72 @@ class Engine:
             # Replaying a previously scheduled prefix: follow it blindly (its
             # feasibility was established when it was scheduled).
             outcome = self._current_prefix[index]
-            state.decisions.append(outcome)
-            state.condition.add(condition if outcome else bool_not(condition))
-            self._stats.decisions += 1
-            return outcome
+        elif self._oracle is not None:
+            outcome = self._decide_with_oracle(state, condition)
+        else:
+            outcome = self._decide_with_solver(state, condition)
+        self._commit_decision(state, condition, outcome)
+        return outcome
 
-        # Fresh branch: determine which outcomes are feasible.
+    def _commit_decision(self, state: PathState, condition: BoolExpr,
+                         outcome: bool) -> None:
+        if self._oracle is not None:
+            # Mirror the branch in the literal prefix.  The branch literal is
+            # a full equivalence, so the False side is its negation — no
+            # second encoding of the negated constraint.
+            self._sync_path_lits(state)
+            lit = self._oracle.literal(condition)
+            self._path_lits.append(lit if outcome else -lit)
+        state.decisions.append(outcome)
+        state.condition.add(condition if outcome else bool_not(condition))
+        if self._oracle is not None:
+            self._synced_constraints = len(state.condition)
+        self._stats.decisions += 1
+
+    def _sync_path_lits(self, state: PathState) -> None:
+        """Encode constraints added outside branching (assume/concretize)."""
+
+        for constraint in state.condition.since(self._synced_constraints):
+            self._path_lits.append(self._oracle.literal(constraint))
+        self._synced_constraints = len(state.condition)
+
+    def _decide_with_oracle(self, state: PathState, condition: BoolExpr) -> bool:
+        self._sync_path_lits(state)
+        lit = self._oracle.literal(condition)
+        if self._oracle_check(self._path_lits + [lit]) == SATStatus.UNSAT:
+            self._stats.forced_decisions += 1
+            return False
+        if self._oracle_check(self._path_lits + [-lit]) == SATStatus.UNSAT:
+            self._stats.forced_decisions += 1
+            return True
+        # Both sides feasible: take True now, schedule False for later.
+        self._stats.forks += 1
+        self._frontier.push(tuple(state.decisions) + (False,))
+        return True
+
+    def _oracle_check(self, literals: List[int]) -> str:
+        status = self._oracle.check_prefix(literals)
+        if status == SATStatus.UNKNOWN:
+            raise SolverError(
+                "solver gave up while checking branch feasibility; raise the "
+                "conflict budget in SolverConfig"
+            )
+        return status
+
+    def _decide_with_solver(self, state: PathState, condition: BoolExpr) -> bool:
         base = state.condition.constraints()
         true_result = self._query(base + [condition])
         if true_result.is_unsat:
-            outcome = False
             self._stats.forced_decisions += 1
-        else:
-            false_result = self._query(base + [bool_not(condition)])
-            if false_result.is_unsat:
-                outcome = True
-                self._stats.forced_decisions += 1
-            else:
-                # Both sides feasible: take True now, schedule False for later.
-                outcome = True
-                self._stats.forks += 1
-                self._pending.append(tuple(state.decisions) + (False,))
-
-        state.decisions.append(outcome)
-        state.condition.add(condition if outcome else bool_not(condition))
-        self._stats.decisions += 1
-        return outcome
+            return False
+        false_result = self._query(base + [bool_not(condition)])
+        if false_result.is_unsat:
+            self._stats.forced_decisions += 1
+            return True
+        # Both sides feasible: take True now, schedule False for later.
+        self._stats.forks += 1
+        self._frontier.push(tuple(state.decisions) + (False,))
+        return True
 
     def _query(self, constraints: Sequence[BoolExpr]) -> SatResult:
         result = self.solver.check(constraints)
@@ -303,7 +523,12 @@ class Engine:
 
     def concretize_in_state(self, state: PathState, value: BVExpr,
                             hint: Optional[int] = None) -> int:
-        """Pin *value* to one concrete integer consistent with the path."""
+        """Pin *value* to one concrete integer consistent with the path.
+
+        Concretization always runs on the legacy :class:`Solver` — the model
+        it picks (and therefore the pinned value) must be identical across
+        oracle and legacy engines for path-set equivalence to hold exactly.
+        """
 
         if isinstance(value, BVConst):
             return value.value
@@ -332,9 +557,144 @@ class Engine:
         if self.config.strict_limits:
             raise PathLimitExceeded("exploration truncated: %s" % reason)
         self._stats.truncated = True
-        self._stats.truncation_reason = reason
+        if self._stats.truncation_reason is None:
+            self._stats.truncation_reason = reason
 
     def abort_current_path(self, reason: str = "aborted by program") -> None:
         """Abandon the path currently being executed (it produces no record)."""
 
         raise _PathAbort(reason)
+
+
+# ---------------------------------------------------------------------------
+# Parallel exploration: one frontier, many engines
+# ---------------------------------------------------------------------------
+
+
+WorkerSetup = Callable[[int], Tuple[Callable[[PathState], Any],
+                                    Optional[SearchStrategy]]]
+
+
+def explore_parallel(setup: WorkerSetup, workers: int,
+                     config: Optional[EngineConfig] = None,
+                     solver_factory: Optional[Callable[[], Solver]] = None,
+                     ) -> ExplorationResult:
+    """Split one exploration's frontier across *workers* engines.
+
+    ``setup(i)`` returns ``(program, strategy_or_None)`` for worker *i*.
+    Worker 0 runs a short **breadth-first** seeding pass — regardless of the
+    configured strategy, because a depth-first frontier stays ≈ path-depth
+    deep and would never reach the handoff threshold — until the frontier
+    holds one prefix per worker (or the program is exhausted); the remaining
+    frontier is then sharded round-robin across fresh engines running in a
+    thread pool.  Each engine owns its own solver, oracle and strategy — the
+    only shared state is the path budget and the deadline — and the branch
+    hook is thread-local, so workers never observe each other.
+
+    Determinism: re-execution makes every prefix self-contained, so the
+    merged path set equals the sequential one; records are merged in worker
+    order and renumbered.  ``max_paths``/``time_budget`` are enforced
+    globally via a shared :class:`PathBudget` and an absolute deadline.
+
+    Caveat: workers are *threads*; on GIL-bound CPython the split bounds
+    per-engine state growth but does not multiply throughput — true CPU
+    parallelism comes from ``Campaign(executor="process")`` across (agent,
+    test) units.  The sharding seam exists so a process-based shard executor
+    (and free-threaded Python) can slot in without touching the scheduler.
+    """
+
+    config = config if config is not None else EngineConfig()
+    workers = max(1, int(workers))
+    if solver_factory is None:
+        solver_factory = lambda: Solver(SolverConfig())  # noqa: E731
+    started = time.perf_counter()
+    deadline = started + config.time_budget if config.time_budget else None
+    budget = PathBudget(config.max_paths)
+
+    program0, strategy0 = setup(0)
+    if workers == 1:
+        seed_engine = Engine(solver=solver_factory(), config=config,
+                             strategy=strategy0)
+        result = seed_engine.explore(program0, budget=budget, deadline=deadline)
+        result.stats.workers = 1
+        return result
+
+    # Seed breadth-first no matter the configured strategy: a depth-first
+    # frontier stays ≈ path-depth deep and would rarely reach the handoff
+    # threshold, silently degrading the split to a sequential run.  Order
+    # does not change the explored set, so the shards (which run the real
+    # strategy) are unaffected.
+    from repro.symbex.strategies import BFSStrategy
+
+    strategy_name = strategy0.name if strategy0 is not None else config.strategy
+    seed_engine = Engine(solver=solver_factory(), config=config,
+                         strategy=BFSStrategy())
+    seed = seed_engine.explore(program0, frontier_target=workers,
+                               budget=budget, deadline=deadline)
+    results = [seed]
+    leftover: List[Prefix] = list(seed.frontier)
+    shard_count = 0
+    # Only *global* stops make sharding pointless: an exhausted path budget
+    # or an expired deadline.  Per-path truncation (max_decisions_per_path)
+    # just marks individual paths failed — the rest of the frontier is still
+    # owed to the caller, exactly as the sequential scheduler delivers it.
+    global_stop = seed.stats.truncation_reason in ("max_paths", "time_budget")
+    if leftover and not global_stop:
+        shard_count = min(workers, len(leftover))
+        shards = [leftover[i::shard_count] for i in range(shard_count)]
+        leftover = []
+        jobs = []
+        for index, shard in enumerate(shards):
+            program, strategy = setup(index + 1)
+            engine = Engine(solver=solver_factory(), config=config, strategy=strategy)
+            jobs.append((engine, program, shard))
+        with ThreadPoolExecutor(max_workers=shard_count) as pool:
+            futures = [
+                pool.submit(engine.explore, program, initial_frontier=shard,
+                            budget=budget, deadline=deadline)
+                for engine, program, shard in jobs
+            ]
+            results.extend(future.result() for future in futures)
+    return _merge_results(results, leftover=leftover,
+                          wall_time=time.perf_counter() - started,
+                          workers=1 + shard_count, strategy_name=strategy_name)
+
+
+def _merge_results(results: Sequence[ExplorationResult], leftover: List[Prefix],
+                   wall_time: float, workers: int,
+                   strategy_name: str) -> ExplorationResult:
+    records: List[PathRecord] = []
+    stats = ExplorationStats(strategy=strategy_name, workers=workers)
+    merged_frontier: List[Prefix] = list(leftover)
+    solver_stats: Dict[str, float] = {}
+    strategy_metrics: Dict[str, object] = {}
+    for index, result in enumerate(results):
+        for record in result.paths:
+            record.path_id = len(records)
+            records.append(record)
+        if index > 0:
+            merged_frontier.extend(result.frontier)
+        part = result.stats
+        stats.decisions += part.decisions
+        stats.forced_decisions += part.forced_decisions
+        stats.forks += part.forks
+        stats.discarded_replays += part.discarded_replays
+        stats.solver_queries += part.solver_queries
+        if part.truncated:
+            stats.truncated = True
+            if stats.truncation_reason is None:
+                stats.truncation_reason = part.truncation_reason
+        merge_stat_dicts(solver_stats, result.solver_stats)
+        merge_stat_dicts(strategy_metrics, result.strategy_metrics,
+                         max_keys=("max_frontier",))
+    stats.paths = len(records)
+    stats.failed_paths = sum(1 for record in records if not record.ok)
+    stats.wall_time = wall_time
+    strategy_metrics["strategy"] = strategy_name
+    return ExplorationResult(
+        paths=records,
+        stats=stats,
+        solver_stats=solver_stats,
+        frontier=merged_frontier,
+        strategy_metrics=strategy_metrics,
+    )

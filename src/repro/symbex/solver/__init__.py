@@ -16,8 +16,15 @@ from repro.symbex.solver.sat import SATSolver, SATStatus
 from repro.symbex.solver.cnf import CNFBuilder
 from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.model import extract_model, verify_model
-from repro.symbex.solver.solver import SatResult, Solver, SolverConfig, SolverStats
+from repro.symbex.solver.solver import (
+    SatResult,
+    Solver,
+    SolverConfig,
+    SolverStats,
+    merge_stat_dicts,
+)
 from repro.symbex.solver.incremental import GroupEncoding, IncrementalStats, PairOutcome
+from repro.symbex.solver.oracle import PrefixOracle, PrefixOracleStats
 
 __all__ = [
     "SATSolver",
@@ -33,4 +40,7 @@ __all__ = [
     "GroupEncoding",
     "IncrementalStats",
     "PairOutcome",
+    "PrefixOracle",
+    "PrefixOracleStats",
+    "merge_stat_dicts",
 ]

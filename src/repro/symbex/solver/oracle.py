@@ -1,0 +1,190 @@
+"""Prefix-feasibility oracle: branch decisions as assumption-based SAT.
+
+The legacy engine answers every "is this branch side feasible?" question with
+a full :class:`~repro.symbex.solver.solver.Solver` query: re-simplify,
+re-bit-blast and re-solve the *entire* path condition in a fresh SAT
+instance, twice per two-sided branch.  Along a path of depth ``d`` that is
+``O(d)`` rebuilds of mostly identical formulas, and sibling paths rebuild
+their shared ancestry again.
+
+:class:`PrefixOracle` applies the incremental machinery that PR 2 introduced
+for crosschecking (:mod:`repro.symbex.solver.incremental`) to Phase 1.  One
+SAT instance is shared by the whole exploration.  Every distinct branch
+condition (and every ``assume()`` constraint) is simplified and bit-blasted
+**once**, yielding a literal that is equivalent to the condition — Tseitin
+gates encode both directions, so the *same* literal serves the True side
+(assume ``lit``) and the False side (assume ``-lit``).  A path prefix is
+then just a set of literals, and its feasibility one
+``solve(assumptions=prefix)`` call that reuses the shared bit-blasting
+structure and all learned clauses.
+
+Two layers short-circuit the backend entirely:
+
+* a **trivial check** — a prefix containing the false literal or a
+  complementary pair is UNSAT without solving;
+* a **prefix cache** keyed on the literal *set*, shared across all paths of
+  the exploration, so re-asking about common ancestry (including the very
+  common "program re-branches on an already-decided condition" pattern,
+  whose literal is already in the prefix) is a dictionary hit.
+
+The oracle decides feasibility only; it never extracts models.
+Concretization keeps using the engine's legacy :class:`Solver` so that the
+model (and therefore the concrete value pinned into the path condition) is
+bit-for-bit identical to the legacy engine's — that is what makes the
+strategy-vs-legacy equivalence of the path-condition sets exact.
+
+Instances are not thread-safe; each worker engine owns its own oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from repro.symbex.expr import BoolConst, BoolExpr
+from repro.symbex.simplify import simplify_bool
+from repro.symbex.solver.bitblast import BitBlaster
+from repro.symbex.solver.cnf import CNFBuilder
+from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.symbex.solver.solver import SolverConfig
+
+__all__ = ["PrefixOracle", "PrefixOracleStats"]
+
+
+@dataclass
+class PrefixOracleStats:
+    """Counters of one :class:`PrefixOracle`."""
+
+    #: Distinct conditions simplified + bit-blasted into the shared CNF.
+    literals_encoded: int = 0
+    #: Conditions requested again after their first encoding (the saving).
+    literal_reuses: int = 0
+    #: Feasibility questions asked by the scheduler.
+    branch_checks: int = 0
+    #: Checks decided without the backend (false literal / complementary pair).
+    trivial_decides: int = 0
+    #: Checks answered from the shared prefix-feasibility cache.
+    prefix_cache_hits: int = 0
+    #: Checks that reached the backend as an assumption re-solve.
+    assumption_solves: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    encode_time: float = 0.0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "literals_encoded": self.literals_encoded,
+            "literal_reuses": self.literal_reuses,
+            "branch_checks": self.branch_checks,
+            "trivial_decides": self.trivial_decides,
+            "prefix_cache_hits": self.prefix_cache_hits,
+            "assumption_solves": self.assumption_solves,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "encode_time": self.encode_time,
+            "solve_time": self.solve_time,
+        }
+
+
+class PrefixOracle:
+    """Shared incremental encoding of one exploration's branch conditions."""
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config if config is not None else SolverConfig()
+        self.stats = PrefixOracleStats()
+        self._sat = SATSolver()
+        self._cnf = CNFBuilder(self._sat)
+        self._blaster = BitBlaster(self._cnf)
+        self._literals: Dict[tuple, int] = {}
+        self._prefix_cache: Dict[FrozenSet[int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def literal(self, condition: BoolExpr) -> int:
+        """The SAT literal equivalent to *condition* (encoded once per key)."""
+
+        key = condition.key()
+        lit = self._literals.get(key)
+        if lit is not None:
+            self.stats.literal_reuses += 1
+            return lit
+        started = time.perf_counter()
+        simplified = simplify_bool(condition)
+        if isinstance(simplified, BoolConst):
+            lit = self._cnf.const(simplified.value)
+        else:
+            lit = self._blaster.bool_lit(simplified)
+        self._literals[key] = lit
+        self.stats.literals_encoded += 1
+        self.stats.encode_time += time.perf_counter() - started
+        return lit
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+
+    def check_prefix(self, literals: Sequence[int]) -> str:
+        """Satisfiability (a :class:`SATStatus` value) of a literal prefix."""
+
+        self.stats.branch_checks += 1
+        true_lit = self._cnf.true_lit
+        assumptions = frozenset(lit for lit in literals if lit != true_lit)
+        if self._cnf.false_lit in assumptions or any(-lit in assumptions
+                                                     for lit in assumptions):
+            self.stats.trivial_decides += 1
+            self.stats.unsat += 1
+            return SATStatus.UNSAT
+        if not assumptions:
+            self.stats.trivial_decides += 1
+            self.stats.sat += 1
+            return SATStatus.SAT
+
+        if self.config.use_cache:
+            cached = self._prefix_cache.get(assumptions)
+            if cached is not None:
+                self.stats.prefix_cache_hits += 1
+                if cached == SATStatus.SAT:
+                    self.stats.sat += 1
+                else:
+                    self.stats.unsat += 1
+                return cached
+
+        started = time.perf_counter()
+        self.stats.assumption_solves += 1
+        status = self._sat.solve(assumptions=sorted(assumptions),
+                                 max_conflicts=self.config.max_conflicts)
+        self.stats.solve_time += time.perf_counter() - started
+        if status == SATStatus.UNKNOWN:
+            # Never cached: a retry with a raised budget must reach the backend.
+            self.stats.unknown += 1
+            return status
+        if status == SATStatus.SAT:
+            self.stats.sat += 1
+        else:
+            self.stats.unsat += 1
+        if self.config.use_cache:
+            self._prefix_cache[assumptions] = status
+        return status
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def encoded_count(self) -> int:
+        return len(self._literals)
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counter snapshot plus the size of the shared backend."""
+
+        snapshot = self.stats.as_dict()
+        snapshot["sat_variables"] = self._sat.num_vars
+        snapshot["sat_clauses"] = self._sat.num_clauses
+        snapshot["backend_solves"] = self._sat.solves
+        return snapshot

@@ -34,7 +34,28 @@ from repro.symbex.solver.cnf import CNFBuilder
 from repro.symbex.solver.model import complete_model, extract_model, require_verified
 from repro.symbex.solver.sat import SATSolver, SATStatus
 
-__all__ = ["Solver", "SolverConfig", "SolverStats", "SatResult"]
+__all__ = ["Solver", "SolverConfig", "SolverStats", "SatResult", "merge_stat_dicts"]
+
+
+def merge_stat_dicts(target: Dict[str, object], source: Dict[str, object],
+                     max_keys: Sequence[str] = ("max_query_time",)
+                     ) -> Dict[str, object]:
+    """Fold one stats dict into *target* (shared by every stats aggregator).
+
+    Non-numeric values keep the first one seen, *max_keys* merge as
+    high-water marks, and every other number sums.  Used by the parallel
+    exploration merge and the campaign-wide solver-stats rollup so gauge
+    semantics live in exactly one place.
+    """
+
+    for name, value in source.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            target.setdefault(name, value)
+        elif name in max_keys:
+            target[name] = max(target.get(name, 0), value)
+        else:
+            target[name] = target.get(name, 0) + value
+    return target
 
 
 @dataclass

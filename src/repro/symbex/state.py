@@ -45,6 +45,16 @@ class PathCondition:
 
         return list(self._constraints)
 
+    def since(self, index: int) -> List[BoolExpr]:
+        """Constraints appended at or after position *index*.
+
+        The engine's feasibility oracle uses this to incrementally mirror
+        constraints added outside branching (``assume``/concretization)
+        without copying the whole list at every branch.
+        """
+
+        return self._constraints[index:]
+
     def to_expr(self) -> BoolExpr:
         """The conjunction of all constraints as a single expression."""
 

@@ -1,0 +1,436 @@
+"""Tests for the strategy/scheduler/oracle exploration stack.
+
+Covers the frontier strategies in isolation, the prefix-feasibility oracle
+in isolation, and — the load-bearing property — that every strategy, the
+prefix-oracle engine, and the parallel scheduler all produce exactly the
+same path-condition set as the legacy rerun-DFS engine on the seed catalog.
+"""
+
+import pytest
+
+from repro.core.explorer import explore_agent
+from repro.core.tests_catalog import TABLE1_TESTS
+from repro.errors import EngineError, SolverError
+from repro.symbex.engine import Engine, EngineConfig, PathBudget, explore_parallel
+from repro.symbex.expr import bool_not, bvvar
+from repro.symbex.solver import PrefixOracle, SolverConfig
+from repro.symbex.solver.sat import SATStatus
+from repro.symbex.strategies import (
+    BFSStrategy,
+    CoverageGuidedStrategy,
+    DFSStrategy,
+    RandomRestartStrategy,
+    make_strategy,
+    strategy_names,
+)
+
+ALL_STRATEGIES = ("dfs", "bfs", "random", "coverage")
+
+
+# ---------------------------------------------------------------------------
+# Strategy frontier unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_dfs_is_lifo_and_bfs_is_fifo():
+    prefixes = [(True,), (False,), (True, True)]
+    dfs = DFSStrategy()
+    bfs = BFSStrategy()
+    for prefix in prefixes:
+        dfs.push(prefix)
+        bfs.push(prefix)
+    assert [dfs.pop() for _ in range(3)] == list(reversed(prefixes))
+    assert [bfs.pop() for _ in range(3)] == prefixes
+
+
+def test_random_strategy_is_deterministic_per_seed():
+    def pop_order(seed):
+        strategy = RandomRestartStrategy(seed=seed)
+        for index in range(8):
+            strategy.push((True,) * index)
+        return [strategy.pop() for _ in range(8)]
+
+    assert pop_order(7) == pop_order(7)
+    assert pop_order(7) != pop_order(8)  # 8! orderings; collision ~ impossible
+
+
+def test_strategy_metrics_track_frontier():
+    strategy = DFSStrategy()
+    strategy.push(())
+    strategy.push((True,))
+    strategy.pop()
+    metrics = strategy.metrics()
+    assert metrics["strategy"] == "dfs"
+    assert metrics["frontier_pushes"] == 2
+    assert metrics["frontier_pops"] == 1
+    assert metrics["max_frontier"] == 2
+
+
+def test_drain_empties_the_frontier_in_pop_order():
+    strategy = BFSStrategy()
+    pushed = [(index % 2 == 0,) for index in range(6)]
+    for prefix in pushed:
+        strategy.push(prefix)
+    remaining = strategy.drain()
+    assert remaining == pushed and len(strategy) == 0
+
+
+def test_coverage_strategy_reset_clears_novelty_state():
+    class FakeRecord:
+        def __init__(self, events):
+            self.events = events
+
+    strategy = CoverageGuidedStrategy()
+    strategy.push(())
+    strategy.pop()
+    strategy.push(("fork",))
+    strategy.on_path_complete(FakeRecord(["seen"]))
+    strategy.reset()
+    # Regression: reset() used to keep _seen_logs, so a reused engine's
+    # second exploration scored every path 0 (silent FIFO degradation).
+    strategy.push(())
+    strategy.pop()
+    strategy.push(("fork2",))
+    strategy.on_path_complete(FakeRecord(["seen"]))
+    assert strategy.rescores == 1
+    assert strategy.metrics()["scored_batches"] == 1
+
+
+def test_coverage_strategy_prioritizes_novel_paths():
+    class FakeRecord:
+        def __init__(self, events):
+            self.events = events
+
+    strategy = CoverageGuidedStrategy()
+    strategy.push(())
+    assert strategy.pop() == ()
+    # Three completed paths, each forking one prefix: the first two logs are
+    # novel (score 1), the middle one is a repeat (score 0).  Novel forks
+    # must pop before the stale one, FIFO among themselves.
+    strategy.push(("novel-a",))
+    strategy.on_path_complete(FakeRecord(["seen"]))  # first sighting: novel
+    strategy.push(("stale",))
+    strategy.on_path_complete(FakeRecord(["seen"]))  # repeated log: stale
+    strategy.push(("novel-b",))
+    strategy.on_path_complete(FakeRecord(["fresh"]))  # novel again
+    assert [strategy.pop() for _ in range(3)] == [
+        ("novel-a",), ("novel-b",), ("stale",)]
+
+
+def test_pop_empty_frontier_raises():
+    with pytest.raises(EngineError):
+        DFSStrategy().pop()
+
+
+def test_make_strategy_rejects_unknown_names():
+    with pytest.raises(EngineError):
+        make_strategy("dijkstra")
+    assert set(ALL_STRATEGIES) == set(strategy_names())
+
+
+# ---------------------------------------------------------------------------
+# PrefixOracle unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_encodes_each_condition_once():
+    oracle = PrefixOracle(SolverConfig())
+    x = bvvar("x", 8)
+    lit_a = oracle.literal(x == 3)
+    lit_b = oracle.literal(x == 3)
+    assert lit_a == lit_b
+    assert oracle.stats.literals_encoded == 1
+    assert oracle.stats.literal_reuses == 1
+
+
+def test_oracle_prefix_feasibility_and_negation():
+    oracle = PrefixOracle(SolverConfig())
+    x = bvvar("x", 8)
+    lit = oracle.literal(x < 10)
+    other = oracle.literal(x > 20)
+    assert oracle.check_prefix([lit]) == SATStatus.SAT
+    assert oracle.check_prefix([lit, other]) == SATStatus.UNSAT
+    # The same literal serves the negated side: x >= 10 and x > 20 is SAT.
+    assert oracle.check_prefix([-lit, other]) == SATStatus.SAT
+
+
+def test_oracle_trivial_contradiction_skips_backend():
+    oracle = PrefixOracle(SolverConfig())
+    x = bvvar("x", 8)
+    lit = oracle.literal(x == 1)
+    solves_before = oracle.stats.assumption_solves
+    assert oracle.check_prefix([lit, -lit]) == SATStatus.UNSAT
+    assert oracle.stats.assumption_solves == solves_before
+    assert oracle.stats.trivial_decides >= 1
+
+
+def test_oracle_prefix_cache_hits():
+    oracle = PrefixOracle(SolverConfig())
+    x = bvvar("x", 8)
+    lits = [oracle.literal(x < 10), oracle.literal(x < 20)]
+    assert oracle.check_prefix(lits) == SATStatus.SAT
+    hits_before = oracle.stats.prefix_cache_hits
+    # Same literal *set* (order and duplicates do not matter).
+    assert oracle.check_prefix(list(reversed(lits)) + [lits[0]]) == SATStatus.SAT
+    assert oracle.stats.prefix_cache_hits == hits_before + 1
+
+
+def test_oracle_negated_constraint_matches_bool_not():
+    oracle = PrefixOracle(SolverConfig())
+    x = bvvar("x", 8)
+    condition = x == 5
+    lit = oracle.literal(condition)
+    # assuming -lit must agree with encoding bool_not(condition) separately
+    not_lit = oracle.literal(bool_not(condition))
+    assert oracle.check_prefix([-lit, -not_lit]) == SATStatus.UNSAT
+    assert oracle.check_prefix([lit, not_lit]) == SATStatus.UNSAT
+    assert oracle.check_prefix([-lit, not_lit]) == SATStatus.SAT
+
+
+# ---------------------------------------------------------------------------
+# Engine-level equivalence (synthetic programs)
+# ---------------------------------------------------------------------------
+
+
+def _branchy_program(state):
+    x = state.new_symbol("x", 8)
+    y = state.new_symbol("y", 8)
+    state.assume(x < 40)
+    if x == 3:
+        state.record_event("eq")
+    elif x < 10:
+        state.record_event("lt")
+    else:
+        state.record_event("ge")
+    if y == x + 1:
+        state.record_event("linked")
+    value = state.concretize(y & 1)
+    state.record_event(value)
+
+
+def _path_condition_set(result):
+    return frozenset(
+        tuple(sorted(constraint.key() for constraint in path.condition.constraints()))
+        for path in result.paths
+    )
+
+
+@pytest.fixture(scope="module")
+def legacy_result():
+    engine = Engine(config=EngineConfig(use_prefix_oracle=False))
+    return engine.explore(_branchy_program)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+def test_every_strategy_explores_the_same_path_set(strategy, legacy_result):
+    engine = Engine(config=EngineConfig(strategy=strategy))
+    result = engine.explore(_branchy_program)
+    assert _path_condition_set(result) == _path_condition_set(legacy_result)
+    assert result.stats.strategy == strategy
+    assert result.strategy_metrics["strategy"] == strategy
+
+
+def test_oracle_engine_issues_fewer_solver_queries(legacy_result):
+    engine = Engine(config=EngineConfig())
+    result = engine.explore(_branchy_program)
+    assert result.solver_stats["mode"] == "prefix-oracle"
+    assert result.stats.solver_queries <= legacy_result.stats.solver_queries
+    # Each distinct condition is bit-blasted exactly once.
+    assert result.solver_stats["literals_encoded"] < result.solver_stats["branch_checks"]
+
+
+def test_dfs_oracle_engine_preserves_legacy_path_order(legacy_result):
+    result = Engine(config=EngineConfig(strategy="dfs")).explore(_branchy_program)
+    legacy_order = [path.decisions for path in legacy_result.paths]
+    oracle_order = [path.decisions for path in result.paths]
+    assert oracle_order == legacy_order
+
+
+def test_explore_parallel_matches_sequential(legacy_result):
+    result = explore_parallel(lambda index: (_branchy_program, None), workers=3)
+    assert _path_condition_set(result) == _path_condition_set(legacy_result)
+    assert [path.path_id for path in result.paths] == list(range(result.path_count))
+
+
+def test_explore_parallel_splits_frontier_across_engines():
+    def wide_program(state):
+        for index in range(5):
+            bit = state.new_symbol("b%d" % index, 1)
+            if bit == 1:
+                state.record_event(index)
+
+    sequential = Engine(config=EngineConfig()).explore(wide_program)
+    parallel = explore_parallel(lambda index: (wide_program, None), workers=4)
+    assert parallel.stats.workers > 1
+    assert parallel.path_count == sequential.path_count == 32
+    assert _path_condition_set(parallel) == _path_condition_set(sequential)
+    assert not parallel.stats.truncated and not parallel.frontier
+
+
+def test_explore_parallel_respects_global_max_paths():
+    def wide_program(state):
+        for index in range(6):
+            bit = state.new_symbol("b%d" % index, 1)
+            if bit == 1:
+                state.record_event(index)
+
+    config = EngineConfig(max_paths=10)
+    result = explore_parallel(lambda index: (wide_program, None), workers=3,
+                              config=config)
+    assert result.path_count <= 10
+    assert result.stats.truncated
+    assert result.stats.truncation_reason == "max_paths"
+    assert result.frontier  # the unexplored remainder is handed back
+
+
+def test_path_budget_claims_are_exact():
+    budget = PathBudget(3)
+    assert [budget.claim() for _ in range(5)] == [True, True, True, False, False]
+    assert PathBudget(None).claim()
+
+
+# ---------------------------------------------------------------------------
+# Strategy-vs-legacy equivalence on the seed catalog (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def _report_path_set(report):
+    return frozenset(
+        tuple(sorted(constraint.key() for constraint in outcome.constraints))
+        for outcome in report.outcomes
+    )
+
+
+@pytest.fixture(scope="module")
+def legacy_catalog_reports():
+    config = EngineConfig(use_prefix_oracle=False)
+    return {
+        test: explore_agent("reference", test, engine_config=config)
+        for test in TABLE1_TESTS
+    }
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+def test_strategies_match_legacy_on_seed_catalog(strategy, legacy_catalog_reports):
+    for test in TABLE1_TESTS:
+        report = explore_agent("reference", test, strategy=strategy)
+        assert report.engine_stats["strategy"] == strategy
+        assert _report_path_set(report) == _report_path_set(legacy_catalog_reports[test]), (
+            "strategy %r diverged from the legacy engine on test %r" % (strategy, test))
+
+
+def test_parallel_exploration_matches_legacy_on_branchy_test(legacy_catalog_reports):
+    report = explore_agent("reference", "packet_out", workers=3)
+    assert _report_path_set(report) == _report_path_set(
+        legacy_catalog_reports["packet_out"])
+    assert report.engine_stats["workers"] >= 1
+    assert report.path_count == legacy_catalog_reports["packet_out"].path_count
+
+
+def test_parallel_exploration_merges_coverage():
+    single = explore_agent("reference", "cs_flow_mods", with_coverage=True)
+    split = explore_agent("reference", "cs_flow_mods", with_coverage=True, workers=3)
+    assert split.coverage is not None
+    assert split.coverage.instruction_coverage == pytest.approx(
+        single.coverage.instruction_coverage)
+
+
+# ---------------------------------------------------------------------------
+# Review regressions: per-path truncation, discard scoring, per-run stats
+# ---------------------------------------------------------------------------
+
+
+def test_explore_parallel_survives_per_path_decision_limit():
+    def deep_first_program(state):
+        x = state.new_symbol("x", 8)
+        index = 0
+        while index < 40 and x != index:
+            index += 1
+        state.record_event(index)
+
+    config = EngineConfig(max_decisions_per_path=16)
+    sequential = Engine(config=config).explore(deep_first_program)
+    parallel = explore_parallel(lambda index: (deep_first_program, None),
+                                workers=4, config=config)
+    # Regression: the first seeded path exceeding max_decisions_per_path used
+    # to cancel the sharded phase, silently dropping the rest of the path set.
+    assert parallel.path_count == sequential.path_count > 1
+    assert _path_condition_set(parallel) == _path_condition_set(sequential)
+    assert not parallel.frontier
+    assert parallel.stats.truncation_reason == "max_decisions_per_path"
+
+
+def test_discarded_replays_do_not_inherit_next_path_score():
+    class FakeRecord:
+        def __init__(self, events):
+            self.events = events
+
+    strategy = CoverageGuidedStrategy()
+    strategy.push(())
+    strategy.pop()
+    strategy.push(("from-discard",))
+    strategy.on_path_discarded()  # flushed neutrally, before any novelty
+    strategy.push(("from-novel",))
+    strategy.on_path_complete(FakeRecord(["fresh"]))  # novel: score 1
+    assert strategy.pop() == ("from-novel",)
+    assert strategy.pop() == ("from-discard",)
+
+
+def test_engine_notifies_strategy_of_discarded_replays():
+    from repro.symbex.engine import active_engine
+
+    notifications = []
+
+    class SpyStrategy(DFSStrategy):
+        def on_path_discarded(self):
+            notifications.append("discarded")
+
+    def program(state):
+        x = state.new_symbol("x", 8)
+        if x == 0:
+            active_engine().abort_current_path("nope")
+        state.record_event("ok")
+
+    result = Engine(strategy=SpyStrategy()).explore(program)
+    assert notifications == ["discarded"]
+    assert result.stats.discarded_replays == 1
+    assert result.path_count == 1
+
+
+def test_reused_engine_solver_stats_are_per_run_deltas():
+    def program(state):
+        x = state.new_symbol("x", 8)
+        if x == 1:
+            state.record_event("one")
+
+    engine = Engine()
+    first = engine.explore(program)
+    second = engine.explore(program)
+    assert first.solver_stats["assumption_solves"] >= 1
+    # The second run is served entirely by the persistent prefix cache; every
+    # counter in solver_stats must be a per-run delta, not a lifetime total.
+    assert second.solver_stats["assumption_solves"] == 0
+    assert second.solver_stats["prefix_cache_hits"] >= 1
+    assert second.solver_stats["queries"] == second.stats.solver_queries == 0
+
+    legacy = Engine(config=EngineConfig(use_prefix_oracle=False))
+    legacy_first = legacy.explore(program)
+    legacy_second = legacy.explore(program)
+    assert legacy_second.solver_stats["queries"] == legacy_first.solver_stats["queries"]
+
+
+def test_forkless_paths_still_consume_their_novelty():
+    class FakeRecord:
+        def __init__(self, events):
+            self.events = events
+
+    strategy = CoverageGuidedStrategy()
+    # A fork-less leaf path sees log "leaf": nothing to score, but the log
+    # must enter the seen-set so a later identical log is not called novel.
+    strategy.on_path_complete(FakeRecord(["leaf"]))
+    strategy.push(("stale",))
+    strategy.on_path_complete(FakeRecord(["leaf"]))  # repeat: score 0
+    strategy.push(("novel",))
+    strategy.on_path_complete(FakeRecord(["new"]))  # genuinely new: score 1
+    assert strategy.pop() == ("novel",)
+    assert strategy.pop() == ("stale",)

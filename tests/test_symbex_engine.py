@@ -254,3 +254,130 @@ def test_events_order_is_preserved():
         assert path.events[0] == "first"
         assert path.events[-1] == "third"
         assert len(path.events) == 3
+
+
+# ---------------------------------------------------------------------------
+# Per-run stats, discarded replays, truncation semantics
+# ---------------------------------------------------------------------------
+
+
+def test_reused_engine_reports_per_run_solver_queries():
+    def program(state):
+        x = state.new_symbol("x", 8)
+        if x == 1:
+            state.record_event("one")
+
+    engine = Engine(config=EngineConfig(use_prefix_oracle=False))
+    first = engine.explore(program)
+    second = engine.explore(program)
+    assert first.stats.solver_queries > 0
+    # Regression: a reused engine used to report the solver's *cumulative*
+    # query counter, inflating every exploration after the first.
+    assert second.stats.solver_queries == first.stats.solver_queries
+
+
+def test_reused_oracle_engine_reports_per_run_solver_queries():
+    def program(state):
+        x = state.new_symbol("x", 8)
+        if x == 1:
+            state.record_event("one")
+
+    engine = Engine()
+    first = engine.explore(program)
+    second = engine.explore(program)
+    assert first.stats.solver_queries > 0
+    # The persistent prefix cache may answer the second run without the
+    # backend, but the stat must never grow cumulatively.
+    assert second.stats.solver_queries <= first.stats.solver_queries
+
+
+def test_aborted_replays_are_counted():
+    from repro.symbex.engine import active_engine
+
+    def program(state):
+        x = state.new_symbol("x", 8)
+        for index in range(4):
+            if x == index:
+                active_engine().abort_current_path("infeasible vendor prefix")
+        state.record_event("done")
+
+    result = explore(program)
+    assert result.path_count == 1
+    assert result.paths[0].events == ["done"]
+    assert result.stats.discarded_replays == 4
+    assert not result.stats.truncated
+
+
+def test_aborted_replays_consume_the_path_budget():
+    from repro.symbex.engine import active_engine
+
+    def program(state):
+        x = state.new_symbol("x", 8)
+        for index in range(4):
+            if x == index:
+                active_engine().abort_current_path("discard")
+        state.record_event("done")
+
+    result = explore(program, max_paths=3)
+    # Regression: discarded replays used to be invisible to max_paths, so a
+    # prefix-heavy exploration could spin far past its budget.
+    assert result.path_count + result.stats.discarded_replays == 3
+    assert result.stats.truncated
+    assert result.stats.truncation_reason == "max_paths"
+
+
+def test_max_paths_truncation_reason_and_partial_result():
+    def program(state):
+        for index in range(6):
+            bit = state.new_symbol("b%d" % index, 1)
+            if bit == 1:
+                state.record_event(index)
+
+    result = explore(program, max_paths=5)
+    assert result.path_count == 5
+    assert result.stats.truncated
+    assert result.stats.truncation_reason == "max_paths"
+    # The partial result is fully usable: every record carries its condition
+    # and decisions, and the unexplored remainder is handed back.
+    assert all(p.decisions for p in result.paths)
+    assert all(p.condition.constraints() for p in result.paths)
+    assert result.frontier
+
+
+def test_time_budget_truncation_reason_and_partial_result():
+    import time as _time
+
+    def program(state):
+        x = state.new_symbol("x", 4)
+        for index in range(3):
+            if x == index:
+                break
+        _time.sleep(0.03)
+        state.record_event("slow")
+
+    result = explore(program, time_budget=0.05)
+    assert result.stats.truncated
+    assert result.stats.truncation_reason == "time_budget"
+    assert 1 <= result.path_count < 4
+    assert all(p.events == ["slow"] for p in result.paths)
+
+
+def test_decision_limit_truncation_reason_and_usable_result():
+    def program(state):
+        x = state.new_symbol("x", 8)
+        index = 0
+        while True:
+            if x == index:
+                break
+            index += 1
+            if index > 100:
+                break
+        state.record_event("leaf")
+
+    result = explore(program, max_decisions_per_path=16)
+    assert result.stats.truncated
+    assert result.stats.truncation_reason == "max_decisions_per_path"
+    failed = [p for p in result.paths if not p.ok]
+    assert failed and all("DecisionLimitExceeded" in p.error for p in failed)
+    # Paths under the limit are unaffected and the result stays usable.
+    assert any(p.ok and p.events == ["leaf"] for p in result.paths)
