@@ -273,14 +273,18 @@ class SATSolver:
         if len(learned) == 1:
             backjump = 0
         else:
-            # Backjump to the second highest level in the learned clause.
-            levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
-            backjump = levels[0]
-            # Move a literal of that level to position 1 for watching.
-            for position in range(1, len(learned)):
-                if self._level[abs(learned[position])] == backjump:
-                    learned[1], learned[position] = learned[position], learned[1]
-                    break
+            # Backjump to the second highest level in the learned clause: a
+            # single max scan over the non-asserting literals, tracking the
+            # position so the witness literal can be swapped into the watch
+            # slot without a second pass (no sort needed).
+            backjump = self._level[abs(learned[1])]
+            witness = 1
+            for position in range(2, len(learned)):
+                level = self._level[abs(learned[position])]
+                if level > backjump:
+                    backjump = level
+                    witness = position
+            learned[1], learned[witness] = learned[witness], learned[1]
         return learned, backjump
 
     def _backtrack(self, level: int) -> None:
