@@ -27,15 +27,27 @@ TESTS = ("stats_request", "set_config")
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_crosscheck.json")
 
 
-def _run_campaign(incremental: bool):
-    started = time.perf_counter()
-    report = (Campaign(replay_testcases=False, incremental=incremental)
-              .with_tests(*TESTS)
-              .with_agents(*AGENTS)
-              .run())
-    elapsed = time.perf_counter() - started
-    crosscheck_time = sum(r.crosscheck.checking_time for r in report.reports)
-    return report, elapsed, crosscheck_time
+def _run_campaign(incremental: bool, repeats: int = 3):
+    """Run *repeats* fresh campaigns; report the first, keep the **minimum**
+    crosscheck/campaign times (the crosscheck phase is ~10ms at this scale,
+    so a single sample is noise-dominated and min-of-N is the stable
+    estimator for the speedup ratio the CI gate guards)."""
+
+    first_report = None
+    best_elapsed = best_check = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = (Campaign(replay_testcases=False, incremental=incremental)
+                  .with_tests(*TESTS)
+                  .with_agents(*AGENTS)
+                  .run())
+        elapsed = time.perf_counter() - started
+        crosscheck_time = sum(r.crosscheck.checking_time for r in report.reports)
+        if first_report is None:
+            first_report = report
+        best_elapsed = min(best_elapsed, elapsed)
+        best_check = min(best_check, crosscheck_time)
+    return first_report, best_elapsed, best_check
 
 
 def _inconsistency_sets(report):

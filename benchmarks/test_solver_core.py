@@ -1,0 +1,176 @@
+"""Solver-core microbenchmark: SAT throughput, intern hit rate, end-to-end.
+
+Three measurements, one ``BENCH_solver.json`` trajectory point:
+
+* **SAT core** — deterministic random 3-SAT instances (fixed seed) driven
+  straight through :class:`SATSolver`, reporting decisions/sec and
+  propagations/sec of the heap-VSIDS + binary-fast-path search loop, plus
+  learned-DB reduction activity.
+* **Interning** — a full Phase-1 exploration, reporting the hash-consing hit
+  rate (constructions answered by the intern table) and the simplify-memo
+  hit rate that interning enables.
+* **End-to-end** — the same single-test campaign on the fast path (prefix
+  oracle + incremental crosscheck) and on the legacy-compat path (full
+  solver query per branch side, fresh solver per pair), asserting identical
+  inconsistency sets and reporting the wall-clock speedup.
+
+``benchmarks/compare_bench.py`` guards these numbers (and the BENCH_explore /
+BENCH_crosscheck ones) against >20% regressions in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.campaign import Campaign
+from repro.core.explorer import explore_agent
+from repro.symbex.engine import EngineConfig
+from repro.symbex.expr import intern_table
+from repro.symbex.simplify import simplify_cache_stats
+from repro.symbex.solver import SATSolver, SATStatus
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_solver.json")
+
+AGENTS = ("reference", "ovs", "modified")
+EXPLORE_TEST = "packet_out"
+CAMPAIGN_TEST = "stats_request"
+
+
+def _random_3sat(solver: SATSolver, num_vars: int, num_clauses: int,
+                 seed: int) -> None:
+    rng = random.Random(seed)
+    variables = [solver.new_var() for _ in range(num_vars)]
+    for _ in range(num_clauses):
+        picked = rng.sample(variables, 3)
+        solver.add_clause([var if rng.random() < 0.5 else -var
+                           for var in picked])
+
+
+def _bench_sat_core():
+    decisions = propagations = conflicts = reductions = 0
+    statuses = []
+    wall = 0.0
+    for seed in range(6):
+        solver = SATSolver(learned_db_base=200)
+        # Near the 3-SAT phase transition (ratio ~4.2): hard enough to force
+        # real search, small enough for a smoke job.
+        _random_3sat(solver, 130, 546, seed=seed)
+        started = time.perf_counter()
+        status = solver.solve(max_conflicts=200_000)
+        wall += time.perf_counter() - started
+        statuses.append(status)
+        if status == SATStatus.SAT:
+            model = solver.model()
+            assert model, "SAT with empty model"
+        decisions += solver.decisions
+        propagations += solver.propagations
+        conflicts += solver.conflicts
+        reductions += solver.db_reductions
+    assert SATStatus.UNKNOWN not in statuses
+    return {
+        "instances": len(statuses),
+        "sat": statuses.count(SATStatus.SAT),
+        "unsat": statuses.count(SATStatus.UNSAT),
+        "decisions": decisions,
+        "propagations": propagations,
+        "conflicts": conflicts,
+        "db_reductions": reductions,
+        "wall_clock": wall,
+        "decisions_per_sec": decisions / wall if wall else 0.0,
+        "propagations_per_sec": propagations / wall if wall else 0.0,
+    }
+
+
+def _bench_interning():
+    table = intern_table()
+    before = table.stats_dict()
+    simplify_before = simplify_cache_stats()
+    report = explore_agent("reference", EXPLORE_TEST)
+    after = table.stats_dict()
+    simplify_after = simplify_cache_stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    simplify_hits = simplify_after["hits"] - simplify_before["hits"]
+    simplify_misses = simplify_after["misses"] - simplify_before["misses"]
+    simplify_total = simplify_hits + simplify_misses
+    return {
+        "explored_paths": report.path_count,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else None,
+        "distinct_terms": after["distinct_terms"],
+        "memory_bytes": after["memory_bytes"],
+        "simplify_cache_hit_rate": (simplify_hits / simplify_total
+                                    if simplify_total else None),
+        "simplify_cache_size": simplify_after["size"],
+    }
+
+
+def _run_campaign(fast: bool):
+    if fast:
+        campaign = Campaign(replay_testcases=False, incremental=True)
+    else:
+        campaign = Campaign(replay_testcases=False, incremental=False,
+                            engine_config=EngineConfig(use_prefix_oracle=False))
+    started = time.perf_counter()
+    report = campaign.with_tests(CAMPAIGN_TEST).with_agents(*AGENTS).run()
+    return report, time.perf_counter() - started
+
+
+def _inconsistency_sets(report):
+    return {
+        (r.test_key, frozenset((r.agent_a, r.agent_b))):
+            frozenset((i.trace_a, i.trace_b) for i in r.crosscheck.inconsistencies)
+        for r in report.reports
+    }
+
+
+def test_solver_core_benchmark(run_once):
+    sat = run_once(_bench_sat_core)
+    interning = _bench_interning()
+    new_report, new_wall = _run_campaign(fast=True)
+    old_report, old_wall = _run_campaign(fast=False)
+
+    identical = _inconsistency_sets(new_report) == _inconsistency_sets(old_report)
+    assert identical, "fast-path campaign diverged from the legacy-compat one"
+    assert sat["decisions_per_sec"] > 0 and sat["propagations_per_sec"] > 0
+    assert interning["hit_rate"] is not None and interning["hit_rate"] > 0.5
+
+    print_table(
+        "Solver core: SAT throughput, interning, end-to-end (%s, %d agents)"
+        % (CAMPAIGN_TEST, len(AGENTS)),
+        ("Metric", "Value"),
+        [
+            ("SAT decisions/sec", "%.0f" % sat["decisions_per_sec"]),
+            ("SAT propagations/sec", "%.0f" % sat["propagations_per_sec"]),
+            ("SAT DB reductions", sat["db_reductions"]),
+            ("Intern hit rate", "%.1f%%" % (100 * interning["hit_rate"])),
+            ("Distinct terms", interning["distinct_terms"]),
+            ("Campaign fast path", "%.2fs" % new_wall),
+            ("Campaign legacy path", "%.2fs" % old_wall),
+            ("End-to-end speedup", "%.2fx" % (old_wall / new_wall
+                                              if new_wall else 0.0)),
+        ])
+
+    payload = {
+        "benchmark": "solver_core",
+        "sat_core": sat,
+        "intern": interning,
+        "end_to_end": {
+            "test": CAMPAIGN_TEST,
+            "agents": list(AGENTS),
+            "identical_inconsistency_sets": identical,
+            "new_wall_clock": new_wall,
+            "legacy_wall_clock": old_wall,
+            "speedup": old_wall / new_wall if new_wall else None,
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % os.path.abspath(BENCH_PATH))

@@ -58,6 +58,8 @@ from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase,
 from repro.core.tests_catalog import TABLE1_TESTS, TestSpec, get_test
 from repro.errors import CampaignError
 from repro.symbex.engine import EngineConfig
+from repro.symbex.expr import intern_table
+from repro.symbex.simplify import clear_simplify_cache, simplify_cache_stats
 from repro.symbex.solver import GroupEncoding, Solver, SolverConfig, merge_stat_dicts
 
 __all__ = ["Campaign", "CampaignReport", "EncodingCache", "ExplorationCache"]
@@ -145,6 +147,17 @@ class ExplorationCache:
     def explored_count(self) -> int:
         with self._lock:
             return sum(1 for entry in self._entries.values() if not entry.loaded)
+
+    def drop_explored(self) -> int:
+        """Discard locally explored entries (artifact-seeded ones cannot be
+        rebuilt and are kept); returns the number dropped."""
+
+        with self._lock:
+            explored = [key for key, entry in self._entries.items()
+                        if not entry.loaded]
+            for key in explored:
+                del self._entries[key]
+            return len(explored)
 
 
 class EncodingCache:
@@ -244,6 +257,9 @@ class CampaignReport:
     #: One row per (agent, test) Phase-1 exploration this campaign consumed:
     #: strategy, workers, paths, solver queries, truncation.
     exploration_stats: List[Dict[str, object]] = dataclass_field(default_factory=list)
+    #: Hash-consing activity during this run (hit/miss deltas) plus the
+    #: absolute size of the shared intern table and simplify memo.
+    intern_stats: Dict[str, object] = dataclass_field(default_factory=dict)
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -305,6 +321,7 @@ class CampaignReport:
             "unused_loaded_agents": list(self.unused_loaded_agents),
             "incremental": self.incremental,
             "solver_stats": dict(self.solver_stats),
+            "intern_stats": dict(self.intern_stats),
             "explorations": [dict(row) for row in self.exploration_stats],
             "totals": {
                 "pair_reports": self.pair_count,
@@ -357,6 +374,13 @@ class CampaignReport:
             lines.append(
                 "  phase 2b: legacy: %d backend rebuild(s) across %d query(ies)"
                 % (stats.get("sat_backend_runs", 0), stats.get("queries", 0)))
+        if self.intern_stats:
+            lines.append(
+                "  terms: %d distinct interned (%.0f%% construction hit rate), "
+                "%d simplify-memo entries"
+                % (self.intern_stats.get("distinct_terms", 0),
+                   100.0 * float(self.intern_stats.get("hit_rate") or 0.0),
+                   self.intern_stats.get("simplify_cache_size", 0)))
         if self.unused_loaded_agents:
             lines.append(
                 "  warning: loaded artifact(s) for %s matched no pair and were unused"
@@ -404,7 +428,8 @@ class Campaign:
                  build_testcases: bool = True,
                  replay_testcases: bool = True,
                  incremental: bool = True,
-                 strategy: Optional[str] = None) -> None:
+                 strategy: Optional[str] = None,
+                 reset_intern: bool = False) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -416,6 +441,17 @@ class Campaign:
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
         self.incremental = incremental
+        #: Reset the process-wide expression intern table (and the simplify
+        #: memo built on top of it) at the start of each run.  Off by
+        #: default: sharing terms across runs is what makes repeated
+        #: same-scale campaigns cheap; opt in when switching scales to
+        #: release the previous scale's accumulated terms.  NOTE: the table
+        #: is process-global — the reset also invalidates identity-based
+        #: sharing for every OTHER live Campaign/engine in the process
+        #: (still correct via the structural-key fallback, but their id-keyed
+        #: caches stop hitting for new-generation terms), so use it from the
+        #: one campaign object that owns the process's exploration life cycle.
+        self.reset_intern = reset_intern
         self.strategy: Optional[str] = None
         if strategy is not None:
             self.with_strategy(strategy)
@@ -696,6 +732,22 @@ class Campaign:
         """Execute the whole campaign and return the aggregated report."""
 
         started = time.perf_counter()
+        if self.reset_intern:
+            # New intern generation: release the previous scale's terms.
+            # Everything that pins old-generation terms must go with it — the
+            # simplify memo, the per-test incremental engines (id-keyed group
+            # maps would never hit against new-generation terms and would
+            # keep re-encoding into the same growing SAT instances), and
+            # locally explored Phase-1 entries.  Artifact-seeded entries are
+            # kept: they cannot be rebuilt, and cross-generation use stays
+            # correct via the structural-key fallback.
+            clear_simplify_cache()
+            intern_table().reset()
+            self.encodings = EncodingCache(self.solver_config)
+            self.cache.drop_explored()
+        table = intern_table()
+        intern_hits_before = table.hits
+        intern_misses_before = table.misses
         specs = self._resolve_tests()
         pairs = self._resolve_pairs()
         # Only agents that appear in a pair are explored/validated; an agent
@@ -757,6 +809,18 @@ class Campaign:
                     "wall_time": entry.wall_time,
                 })
 
+        intern_stats: Dict[str, object] = {
+            "hits": table.hits - intern_hits_before,
+            "misses": table.misses - intern_misses_before,
+            "distinct_terms": table.distinct_terms,
+            "memory_bytes": table.memory_bytes(),
+            "reset": self.reset_intern,
+        }
+        run_total = intern_stats["hits"] + intern_stats["misses"]
+        intern_stats["hit_rate"] = (intern_stats["hits"] / run_total
+                                    if run_total else None)
+        intern_stats["simplify_cache_size"] = int(simplify_cache_stats()["size"])
+
         return CampaignReport(
             tests=[spec.key for spec in specs],
             agents=list(self._agents),
@@ -772,4 +836,5 @@ class Campaign:
             incremental=self.incremental,
             solver_stats=solver_stats,
             exploration_stats=exploration_stats,
+            intern_stats=intern_stats,
         )

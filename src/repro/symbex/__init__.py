@@ -39,6 +39,8 @@ from repro.symbex.expr import (
     bool_or,
     concat,
     extract,
+    intern_table,
+    InternTable,
     is_concrete,
     ite,
     sign_extend,
@@ -54,7 +56,12 @@ from repro.symbex.engine import (
     active_engine,
     explore_parallel,
 )
-from repro.symbex.simplify import simplify, simplify_bool
+from repro.symbex.simplify import (
+    clear_simplify_cache,
+    simplify,
+    simplify_bool,
+    simplify_cache_stats,
+)
 from repro.symbex.solver import PrefixOracle, SatResult, Solver, SolverConfig
 from repro.symbex.state import PathCondition, PathState
 from repro.symbex.strategies import SearchStrategy, make_strategy, strategy_names
@@ -76,6 +83,8 @@ __all__ = [
     "bool_or",
     "concat",
     "extract",
+    "intern_table",
+    "InternTable",
     "is_concrete",
     "ite",
     "sign_extend",
@@ -90,6 +99,8 @@ __all__ = [
     "explore_parallel",
     "simplify",
     "simplify_bool",
+    "simplify_cache_stats",
+    "clear_simplify_cache",
     "PrefixOracle",
     "SatResult",
     "Solver",

@@ -52,7 +52,7 @@ from repro.symbex.expr import (
     bool_not,
     set_branch_hook,
 )
-from repro.symbex.simplify import simplify_bool
+from repro.symbex.simplify import simplify_bool, simplify_cache_stats
 from repro.symbex.solver import SatResult, Solver, SolverConfig, merge_stat_dicts
 from repro.symbex.solver.oracle import PrefixOracle
 from repro.symbex.solver.sat import SATStatus
@@ -174,6 +174,12 @@ class ExplorationStats:
     strategy: str = "dfs"
     #: Engines the frontier was split across (1 = sequential).
     workers: int = 1
+    #: Global simplify-memo activity during this exploration (per-run deltas;
+    #: the cache is process-wide, so concurrent explorations overlap).
+    simplify_cache_hits: int = 0
+    simplify_cache_misses: int = 0
+    #: Size of the global simplify memo when the exploration finished (gauge).
+    simplify_cache_size: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -189,6 +195,9 @@ class ExplorationStats:
             "truncation_reason": self.truncation_reason,
             "strategy": self.strategy,
             "workers": self.workers,
+            "simplify_cache_hits": self.simplify_cache_hits,
+            "simplify_cache_misses": self.simplify_cache_misses,
+            "simplify_cache_size": self.simplify_cache_size,
         }
 
 
@@ -290,6 +299,7 @@ class Engine:
 
         solver_queries_before = self.solver.stats.queries
         solver_stats_before = self.solver.stats.as_dict()
+        simplify_before = simplify_cache_stats()
         oracle = self.oracle
         oracle_solves_before = oracle.stats.assumption_solves if oracle else 0
         oracle_stats_before = oracle.stats_dict() if oracle else {}
@@ -335,6 +345,12 @@ class Engine:
         self._stats.paths = len(records)
         self._stats.failed_paths = sum(1 for r in records if not r.ok)
         self._stats.wall_time = time.perf_counter() - started
+        simplify_after = simplify_cache_stats()
+        self._stats.simplify_cache_hits = int(
+            simplify_after["hits"] - simplify_before["hits"])
+        self._stats.simplify_cache_misses = int(
+            simplify_after["misses"] - simplify_before["misses"])
+        self._stats.simplify_cache_size = int(simplify_after["size"])
         concretize_queries = self.solver.stats.queries - solver_queries_before
         self._stats.solver_queries = concretize_queries + (
             oracle.stats.assumption_solves - oracle_solves_before if oracle else 0)
@@ -680,6 +696,10 @@ def _merge_results(results: Sequence[ExplorationResult], leftover: List[Prefix],
         stats.forks += part.forks
         stats.discarded_replays += part.discarded_replays
         stats.solver_queries += part.solver_queries
+        stats.simplify_cache_hits += part.simplify_cache_hits
+        stats.simplify_cache_misses += part.simplify_cache_misses
+        stats.simplify_cache_size = max(stats.simplify_cache_size,
+                                        part.simplify_cache_size)
         if part.truncated:
             stats.truncated = True
             if stats.truncation_reason is None:

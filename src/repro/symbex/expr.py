@@ -12,10 +12,16 @@ Design notes
 * Widths are explicit and checked.  OpenFlow fields are 8/16/32/48/64-bit
   unsigned quantities; all comparisons default to *unsigned* semantics, with
   signed variants available as methods (``slt``, ``sle`` ...).
-* ``BVExpr.__eq__`` is *symbolic*: it returns a :class:`BoolExpr`.  Structural
-  identity is exposed through :meth:`Expr.key` (a hashable nested tuple) and
-  :func:`structurally_equal`.  Never use raw ``BVExpr`` objects as dictionary
-  keys — use ``expr.key()``.
+* Every node is **hash-consed**: construction interns the term in a global
+  :class:`InternTable`, so two structurally identical terms built through any
+  code path are the *same object* and ``a is b`` decides structural equality
+  in O(1).  Caches throughout the solver stack key on ``id(expr)`` instead of
+  the nested :meth:`Expr.key` tuples (which are still available, computed at
+  most once per distinct term, and remain the cross-process/cross-generation
+  fallback used by :func:`structurally_equal`).
+* ``BVExpr.__eq__`` is *symbolic*: it returns a :class:`BoolExpr`.  Never use
+  raw ``BVExpr`` objects as dictionary keys — use ``id(expr)`` (keeping a
+  reference to the expression alive) or ``expr.key()``.
 * Branching on a symbolic :class:`BoolExpr` (``if cond:``) calls back into the
   active exploration engine through a registered hook.  Outside an exploration
   context this raises :class:`~repro.errors.NoActiveEngineError` so that bugs
@@ -36,6 +42,8 @@ from repro.errors import (
 
 __all__ = [
     "Expr",
+    "InternTable",
+    "intern_table",
     "BVExpr",
     "BVConst",
     "BVVar",
@@ -119,6 +127,100 @@ def reset_branch_hook(previous: Optional[Callable[["BoolExpr"], bool]] = None) -
 
 
 # ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+
+
+class InternTable:
+    """The hash-consing table behind every expression constructor.
+
+    Keys are shallow tuples ``(cls, ...scalars..., id(child), ...)`` — because
+    children are themselves interned (and kept alive by the table), a child's
+    ``id`` is a canonical O(1) stand-in for its whole subtree, so interning a
+    node costs one small-tuple hash instead of a deep structural one.
+
+    The table holds strong references to every distinct term, which is what
+    makes ``id``-keyed caches elsewhere safe (a live id is never recycled).
+    Long multi-scale campaigns can :meth:`reset` it between scales to release
+    the accumulated terms; terms from different generations remain *correct*
+    (``structurally_equal`` falls back to key comparison) but are no longer
+    pointer-identical.
+
+    Thread-safety: the single mutating operation is ``dict.setdefault``,
+    which is atomic under the GIL; the hit/miss counters are best-effort
+    under concurrent construction.
+    """
+
+    __slots__ = ("_terms", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._terms: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _intern(self, key: tuple, candidate: "Expr") -> "Expr":
+        interned = self._terms.setdefault(key, candidate)
+        if interned is candidate:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return interned
+
+    @property
+    def distinct_terms(self) -> int:
+        return len(self._terms)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        """Approximate retained size of the table (keys + term objects)."""
+
+        import sys
+
+        total = sys.getsizeof(self._terms)
+        for key, term in list(self._terms.items()):
+            total += sys.getsizeof(key) + sys.getsizeof(term)
+        return total
+
+    def stats_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "distinct_terms": self.distinct_terms,
+            "hit_rate": self.hit_rate,
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def reset(self) -> None:
+        """Drop every interned term (a new *generation*) and zero the counters.
+
+        The module-level ``TRUE``/``FALSE`` singletons are re-seeded so
+        boolean constants stay pointer-identical across generations.
+        """
+
+        self._terms.clear()
+        self.hits = 0
+        self.misses = 0
+        for singleton in (globals().get("TRUE"), globals().get("FALSE")):
+            if singleton is not None:
+                self._terms[(BoolConst, singleton.value)] = singleton
+
+
+_INTERN = InternTable()
+#: Hot-path alias: constructor lookups go straight to the backing dict.
+_TERMS = _INTERN._terms
+
+
+def intern_table() -> InternTable:
+    """The process-wide expression intern table (stats / reset live here)."""
+
+    return _INTERN
+
+
+# ---------------------------------------------------------------------------
 # Base class
 # ---------------------------------------------------------------------------
 
@@ -162,7 +264,12 @@ class Expr:
 
 
 def structurally_equal(a: Expr, b: Expr) -> bool:
-    """True when *a* and *b* denote the same term (structural identity)."""
+    """True when *a* and *b* denote the same term (structural identity).
+
+    With hash-consing this is pointer equality for terms of the same intern
+    generation; the key comparison only runs for terms that straddle an
+    :meth:`InternTable.reset` (or were built in another process).
+    """
 
     return a is b or a.key() == b.key()
 
@@ -179,7 +286,9 @@ def expr_size(expr: Expr) -> int:
     count = 0
     while stack:
         node = stack.pop()
-        k = node.key()
+        # Interning makes id() the structural identity of a live node; the
+        # whole tree is pinned by *expr* for the duration of the walk.
+        k = id(node)
         if k in seen:
             continue
         seen.add(k)
@@ -196,7 +305,7 @@ def collect_variables(expr: Expr) -> dict:
     stack = [expr]
     while stack:
         node = stack.pop()
-        k = node.key()
+        k = id(node)
         if k in seen:
             continue
         seen.add(k)
@@ -228,15 +337,19 @@ def _to_signed(value: int, width: int) -> int:
     return value
 
 
+def _check_width(width: int) -> None:
+    if not isinstance(width, int) or width <= 0:
+        raise ExpressionError("bit-vector width must be a positive integer, got %r" % (width,))
+
+
 class BVExpr(Expr):
-    """A fixed-width unsigned bit-vector expression."""
+    """A fixed-width unsigned bit-vector expression.
+
+    Concrete subclasses construct through ``__new__`` and intern the node in
+    the global :class:`InternTable`; ``width`` is set by each subclass.
+    """
 
     __slots__ = ("width",)
-
-    def __init__(self, width: int) -> None:
-        if not isinstance(width, int) or width <= 0:
-            raise ExpressionError("bit-vector width must be a positive integer, got %r" % (width,))
-        object.__setattr__(self, "width", width)
 
     # -- coercion helpers -------------------------------------------------
 
@@ -401,11 +514,23 @@ class BVConst(BVExpr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int, width: int) -> None:
-        super().__init__(width)
+    def __new__(cls, value: int, width: int) -> "BVConst":
+        _check_width(width)
         if not isinstance(value, int):
             raise ExpressionError("constant value must be an int, got %r" % (value,))
-        object.__setattr__(self, "value", _mask(value, width))
+        value = value & ((1 << width) - 1)
+        key = (cls, width, value)
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.width = width
+        self.value = value
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVConst, (self.value, self.width))
 
     def as_int(self) -> int:
         return self.value
@@ -427,11 +552,25 @@ class BVVar(BVExpr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str, width: int) -> None:
-        super().__init__(width)
+    def __new__(cls, name: str, width: int) -> "BVVar":
+        # Validate BEFORE the cache lookup: scalar key components hash by
+        # value, so e.g. a float 8.0 width would otherwise silently hit the
+        # entry interned for the valid int 8.
+        _check_width(width)
         if not name:
             raise ExpressionError("variable name must be non-empty")
-        object.__setattr__(self, "name", name)
+        key = (cls, name, width)
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.width = width
+        self.name = name
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVVar, (self.name, self.width))
 
     def _compute_key(self) -> tuple:
         return ("var", self.width, self.name)
@@ -450,17 +589,27 @@ class BVBinOp(BVExpr):
 
     __slots__ = ("op", "lhs", "rhs")
 
-    def __init__(self, op: str, lhs: BVExpr, rhs: BVExpr) -> None:
+    def __new__(cls, op: str, lhs: BVExpr, rhs: BVExpr) -> "BVBinOp":
+        key = (cls, op, id(lhs), id(rhs))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if op not in _BINOPS:
             raise ExpressionError("unknown bit-vector binary operator %r" % (op,))
         if lhs.width != rhs.width:
             raise WidthMismatchError(
                 "operands of %s must share a width: %d vs %d" % (op, lhs.width, rhs.width)
             )
-        super().__init__(lhs.width)
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "lhs", lhs)
-        object.__setattr__(self, "rhs", rhs)
+        self = object.__new__(cls)
+        self.width = lhs.width
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVBinOp, (self.op, self.lhs, self.rhs))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.lhs, self.rhs)
@@ -477,12 +626,22 @@ class BVUnOp(BVExpr):
 
     __slots__ = ("op", "operand")
 
-    def __init__(self, op: str, operand: BVExpr) -> None:
+    def __new__(cls, op: str, operand: BVExpr) -> "BVUnOp":
+        key = (cls, op, id(operand))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if op not in ("not", "neg"):
             raise ExpressionError("unknown bit-vector unary operator %r" % (op,))
-        super().__init__(operand.width)
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "operand", operand)
+        self = object.__new__(cls)
+        self.width = operand.width
+        self.op = op
+        self.operand = operand
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVUnOp, (self.op, self.operand))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -500,15 +659,28 @@ class BVExtract(BVExpr):
 
     __slots__ = ("operand", "high", "low")
 
-    def __init__(self, operand: BVExpr, high: int, low: int) -> None:
-        if not (0 <= low <= high < operand.width):
+    def __new__(cls, operand: BVExpr, high: int, low: int) -> "BVExtract":
+        # Validate before the lookup: high/low hash by value in the key
+        # (8.0 == 8), so invalid numeric types must not reach the cache.
+        if not (isinstance(high, int) and isinstance(low, int)
+                and 0 <= low <= high < operand.width):
             raise ExpressionError(
-                "invalid extract [%d:%d] of a %d-bit value" % (high, low, operand.width)
+                "invalid extract [%s:%s] of a %d-bit value" % (high, low, operand.width)
             )
-        super().__init__(high - low + 1)
-        object.__setattr__(self, "operand", operand)
-        object.__setattr__(self, "high", high)
-        object.__setattr__(self, "low", low)
+        key = (cls, high, low, id(operand))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.width = high - low + 1
+        self.operand = operand
+        self.high = high
+        self.low = low
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVExtract, (self.operand, self.high, self.low))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -525,12 +697,22 @@ class BVConcat(BVExpr):
 
     __slots__ = ("parts",)
 
-    def __init__(self, parts: Sequence[BVExpr]) -> None:
+    def __new__(cls, parts: Sequence[BVExpr]) -> "BVConcat":
         parts = tuple(parts)
+        key = (cls,) + tuple(map(id, parts))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if len(parts) < 2:
             raise ExpressionError("concat requires at least two parts")
-        super().__init__(sum(p.width for p in parts))
-        object.__setattr__(self, "parts", parts)
+        self = object.__new__(cls)
+        self.width = sum(p.width for p in parts)
+        self.parts = parts
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVConcat, (self.parts,))
 
     def children(self) -> Tuple[Expr, ...]:
         return self.parts
@@ -547,14 +729,25 @@ class BVZeroExt(BVExpr):
 
     __slots__ = ("operand",)
 
-    def __init__(self, operand: BVExpr, width: int) -> None:
+    def __new__(cls, operand: BVExpr, width: int) -> "BVZeroExt":
+        _check_width(width)  # before the lookup: width hashes by value
         if width <= operand.width:
             raise ExpressionError(
                 "zero-extend target width %d must exceed operand width %d"
                 % (width, operand.width)
             )
-        super().__init__(width)
-        object.__setattr__(self, "operand", operand)
+        key = (cls, width, id(operand))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.width = width
+        self.operand = operand
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVZeroExt, (self.operand, self.width))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -571,14 +764,25 @@ class BVSignExt(BVExpr):
 
     __slots__ = ("operand",)
 
-    def __init__(self, operand: BVExpr, width: int) -> None:
+    def __new__(cls, operand: BVExpr, width: int) -> "BVSignExt":
+        _check_width(width)  # before the lookup: width hashes by value
         if width <= operand.width:
             raise ExpressionError(
                 "sign-extend target width %d must exceed operand width %d"
                 % (width, operand.width)
             )
-        super().__init__(width)
-        object.__setattr__(self, "operand", operand)
+        key = (cls, width, id(operand))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.width = width
+        self.operand = operand
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVSignExt, (self.operand, self.width))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -595,15 +799,25 @@ class BVIte(BVExpr):
 
     __slots__ = ("cond", "then", "otherwise")
 
-    def __init__(self, cond: "BoolExpr", then: BVExpr, otherwise: BVExpr) -> None:
+    def __new__(cls, cond: "BoolExpr", then: BVExpr, otherwise: BVExpr) -> "BVIte":
+        key = (cls, id(cond), id(then), id(otherwise))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if then.width != otherwise.width:
             raise WidthMismatchError(
                 "ite branches must share a width: %d vs %d" % (then.width, otherwise.width)
             )
-        super().__init__(then.width)
-        object.__setattr__(self, "cond", cond)
-        object.__setattr__(self, "then", then)
-        object.__setattr__(self, "otherwise", otherwise)
+        self = object.__new__(cls)
+        self.width = then.width
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVIte, (self.cond, self.then, self.otherwise))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.cond, self.then, self.otherwise)
@@ -652,11 +866,15 @@ class BoolExpr(Expr):
 
     # Structural equality (note: unlike BVExpr, == on BoolExpr is *not* symbolic).
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, BoolExpr):
             return NotImplemented
         return self.key() == other.key()
 
     def __ne__(self, other: object) -> bool:
+        if self is other:
+            return False
         if not isinstance(other, BoolExpr):
             return NotImplemented
         return self.key() != other.key()
@@ -669,8 +887,19 @@ class BoolConst(BoolExpr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: bool) -> None:
-        object.__setattr__(self, "value", bool(value))
+    def __new__(cls, value: bool) -> "BoolConst":
+        value = bool(value)
+        key = (cls, value)
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.value = value
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BoolConst, (self.value,))
 
     def as_bool(self) -> bool:
         return self.value
@@ -691,8 +920,18 @@ class BoolNot(BoolExpr):
 
     __slots__ = ("operand",)
 
-    def __init__(self, operand: BoolExpr) -> None:
-        object.__setattr__(self, "operand", operand)
+    def __new__(cls, operand: BoolExpr) -> "BoolNot":
+        key = (cls, id(operand))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
+        self = object.__new__(cls)
+        self.operand = operand
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BoolNot, (self.operand,))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -709,11 +948,21 @@ class _BoolNary(BoolExpr):
 
     _NAME = "?"
 
-    def __init__(self, operands: Sequence[BoolExpr]) -> None:
+    def __new__(cls, operands: Sequence[BoolExpr]) -> "_BoolNary":
         operands = tuple(operands)
+        key = (cls,) + tuple(map(id, operands))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if len(operands) < 2:
-            raise ExpressionError("%s requires at least two operands" % self._NAME)
-        object.__setattr__(self, "operands", operands)
+            raise ExpressionError("%s requires at least two operands" % cls._NAME)
+        self = object.__new__(cls)
+        self.operands = operands
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (type(self), (self.operands,))
 
     def children(self) -> Tuple[Expr, ...]:
         return self.operands
@@ -748,16 +997,26 @@ class BVCmp(BoolExpr):
 
     __slots__ = ("op", "lhs", "rhs")
 
-    def __init__(self, op: str, lhs: BVExpr, rhs: BVExpr) -> None:
+    def __new__(cls, op: str, lhs: BVExpr, rhs: BVExpr) -> "BVCmp":
+        key = (cls, op, id(lhs), id(rhs))
+        cached = _TERMS.get(key)
+        if cached is not None:
+            _INTERN.hits += 1
+            return cached
         if op not in _CMPS:
             raise ExpressionError("unknown comparison operator %r" % (op,))
         if lhs.width != rhs.width:
             raise WidthMismatchError(
                 "comparison operands must share a width: %d vs %d" % (lhs.width, rhs.width)
             )
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "lhs", lhs)
-        object.__setattr__(self, "rhs", rhs)
+        self = object.__new__(cls)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        return _INTERN._intern(key, self)
+
+    def __reduce__(self):
+        return (BVCmp, (self.op, self.lhs, self.rhs))
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.lhs, self.rhs)
@@ -1073,12 +1332,12 @@ def _nary(kind: type, absorbing: BoolConst, neutral: BoolConst,
             continue
         if isinstance(operand, kind):
             for inner in operand.operands:  # type: ignore[attr-defined]
-                if inner.key() not in seen:
-                    seen.add(inner.key())
+                if id(inner) not in seen:
+                    seen.add(id(inner))
                     flat.append(inner)
             continue
-        if operand.key() not in seen:
-            seen.add(operand.key())
+        if id(operand) not in seen:
+            seen.add(id(operand))
             flat.append(operand)
     if not flat:
         return neutral

@@ -9,9 +9,11 @@ identical terms from that form.
 
 The encoding mirrors the structural keys of the AST: every node becomes
 ``[tag, ...]`` where the tag matches the node kind.  Shared subterms are
-serialized once per occurrence (the rebuilt tree may therefore lose physical
-sharing, but :func:`~repro.symbex.expr.structurally_equal` holds and solver
-behaviour is unchanged).
+serialized once per occurrence, but deserialization goes through the interned
+constructors of :mod:`repro.symbex.expr`, so the rebuilt tree *regains* full
+physical sharing: a round-tripped term is pointer-identical to the original
+(within one intern generation) and every ``id``-keyed cache in the solver
+stack treats it as the same term.
 """
 
 from __future__ import annotations

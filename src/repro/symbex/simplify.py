@@ -12,11 +12,21 @@ folding at construction time.  This module adds:
 * :func:`evaluate_bv` / :func:`evaluate_bool` — fully concrete big-int
   evaluation under a complete assignment.  Used to validate solver models and
   to replay generated test cases.
+
+Because expressions are hash-consed (see :mod:`repro.symbex.expr`),
+simplification is a pure function of the node's *identity*: the
+substitution-free :func:`simplify` / :func:`simplify_bool` entry points are
+memoized process-wide in a bounded ``id``-keyed cache
+(:class:`SimplifyCache`), so the engine's per-branch re-simplification of
+recurring conditions is a dictionary hit after the first path that builds
+them.  The cache is bounded (oldest-half eviction between top-level calls)
+and observable through :func:`simplify_cache_stats` so long campaigns cannot
+grow it silently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+from typing import Dict, Mapping, Tuple, Union
 
 from repro.errors import ExpressionError
 from repro.symbex.expr import (
@@ -58,24 +68,105 @@ __all__ = [
     "substitute",
     "evaluate_bv",
     "evaluate_bool",
+    "SimplifyCache",
+    "simplify_cache_stats",
+    "clear_simplify_cache",
+    "set_simplify_cache_limit",
 ]
 
 Assignment = Mapping[str, int]
 
 
-def _rebuild(expr: Expr, cache: Dict[tuple, Expr],
-             substitution: Mapping[str, BVExpr]) -> Expr:
-    key = expr.key()
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    result = _rebuild_uncached(expr, cache, substitution)
-    cache[key] = result
+class SimplifyCache:
+    """Bounded process-wide memo for substitution-free simplification.
+
+    Entries map ``id(expr) -> (expr, simplified)``; storing the input
+    expression pins it alive so its id can never be recycled while the entry
+    exists.  Hits re-insert their entry (cheap LRU), so eviction — dropping
+    the first half in insertion order, run only between top-level
+    ``simplify*`` calls, never mid-recursion — sheds the coldest entries
+    rather than the hottest shared subterms.
+    """
+
+    __slots__ = ("entries", "max_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self.entries: Dict[int, Tuple[Expr, Expr]] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def maybe_evict(self) -> None:
+        if len(self.entries) < self.max_entries:
+            return
+        drop = len(self.entries) // 2
+        for key in list(self.entries.keys())[:drop]:
+            # pop() tolerates a concurrent evictor racing over the same keys.
+            self.entries.pop(key, None)
+        self.evictions += drop
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats_dict(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "size": len(self.entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+_SIMPLIFY_CACHE = SimplifyCache()
+
+
+def simplify_cache_stats() -> Dict[str, float]:
+    """Snapshot of the global simplification memo (size, hits, evictions)."""
+
+    return _SIMPLIFY_CACHE.stats_dict()
+
+
+def clear_simplify_cache() -> None:
+    """Drop every memoized simplification (e.g. after an intern-table reset)."""
+
+    _SIMPLIFY_CACHE.clear()
+
+
+def set_simplify_cache_limit(max_entries: int) -> None:
+    """Re-bound the global memo; takes effect at the next top-level call."""
+
+    _SIMPLIFY_CACHE.max_entries = max(1, int(max_entries))
+
+
+def _rebuild(expr: Expr, cache: Dict[int, Tuple[Expr, Expr]],
+             substitution: Mapping[str, BVExpr],
+             stats: SimplifyCache = None) -> Expr:
+    key = id(expr)
+    entry = cache.get(key)
+    if entry is not None:
+        if stats is not None:
+            stats.hits += 1
+            # Cheap LRU: re-insert so half-eviction (insertion order) drops
+            # the coldest entries, not the hottest shared subterms.
+            cache[key] = cache.pop(key, entry)
+        return entry[1]
+    if stats is not None:
+        stats.misses += 1
+    result = _rebuild_uncached(expr, cache, substitution, stats)
+    cache[key] = (expr, result)
     return result
 
 
-def _rebuild_uncached(expr: Expr, cache: Dict[tuple, Expr],
-                      substitution: Mapping[str, BVExpr]) -> Expr:
+def _rebuild_uncached(expr: Expr, cache: Dict[int, Tuple[Expr, Expr]],
+                      substitution: Mapping[str, BVExpr],
+                      stats: SimplifyCache = None) -> Expr:
     if isinstance(expr, BVConst) or isinstance(expr, BoolConst):
         return expr
     if isinstance(expr, BVVar):
@@ -89,41 +180,46 @@ def _rebuild_uncached(expr: Expr, cache: Dict[tuple, Expr],
             )
         return replacement
     if isinstance(expr, BVBinOp):
-        lhs = _rebuild(expr.lhs, cache, substitution)
-        rhs = _rebuild(expr.rhs, cache, substitution)
+        lhs = _rebuild(expr.lhs, cache, substitution, stats)
+        rhs = _rebuild(expr.rhs, cache, substitution, stats)
         return _make_binop(expr.op, lhs, rhs)  # type: ignore[arg-type]
     if isinstance(expr, BVUnOp):
-        return _make_unop(expr.op, _rebuild(expr.operand, cache, substitution))  # type: ignore[arg-type]
+        return _make_unop(expr.op, _rebuild(expr.operand, cache, substitution, stats))  # type: ignore[arg-type]
     if isinstance(expr, BVExtract):
-        return extract(_rebuild(expr.operand, cache, substitution), expr.high, expr.low)  # type: ignore[arg-type]
+        return extract(_rebuild(expr.operand, cache, substitution, stats), expr.high, expr.low)  # type: ignore[arg-type]
     if isinstance(expr, BVConcat):
-        return concat(*[_rebuild(p, cache, substitution) for p in expr.parts])  # type: ignore[misc]
+        return concat(*[_rebuild(p, cache, substitution, stats) for p in expr.parts])  # type: ignore[misc]
     if isinstance(expr, BVZeroExt):
-        return zero_extend(_rebuild(expr.operand, cache, substitution), expr.width)  # type: ignore[arg-type]
+        return zero_extend(_rebuild(expr.operand, cache, substitution, stats), expr.width)  # type: ignore[arg-type]
     if isinstance(expr, BVSignExt):
-        return sign_extend(_rebuild(expr.operand, cache, substitution), expr.width)  # type: ignore[arg-type]
+        return sign_extend(_rebuild(expr.operand, cache, substitution, stats), expr.width)  # type: ignore[arg-type]
     if isinstance(expr, BVIte):
-        cond = _rebuild(expr.cond, cache, substitution)
-        then = _rebuild(expr.then, cache, substitution)
-        otherwise = _rebuild(expr.otherwise, cache, substitution)
+        cond = _rebuild(expr.cond, cache, substitution, stats)
+        then = _rebuild(expr.then, cache, substitution, stats)
+        otherwise = _rebuild(expr.otherwise, cache, substitution, stats)
         return ite(cond, then, otherwise)  # type: ignore[arg-type]
     if isinstance(expr, BVCmp):
-        lhs = _rebuild(expr.lhs, cache, substitution)
-        rhs = _rebuild(expr.rhs, cache, substitution)
+        lhs = _rebuild(expr.lhs, cache, substitution, stats)
+        rhs = _rebuild(expr.rhs, cache, substitution, stats)
         return _make_cmp(expr.op, lhs, rhs)  # type: ignore[arg-type]
     if isinstance(expr, BoolNot):
-        return bool_not(_rebuild(expr.operand, cache, substitution))  # type: ignore[arg-type]
+        return bool_not(_rebuild(expr.operand, cache, substitution, stats))  # type: ignore[arg-type]
     if isinstance(expr, BoolAnd):
-        return bool_and(*[_rebuild(o, cache, substitution) for o in expr.operands])  # type: ignore[misc]
+        return bool_and(*[_rebuild(o, cache, substitution, stats) for o in expr.operands])  # type: ignore[misc]
     if isinstance(expr, BoolOr):
-        return bool_or(*[_rebuild(o, cache, substitution) for o in expr.operands])  # type: ignore[misc]
+        return bool_or(*[_rebuild(o, cache, substitution, stats) for o in expr.operands])  # type: ignore[misc]
     raise ExpressionError("cannot simplify unknown expression node %r" % (expr,))
+
+
+_EMPTY_SUBSTITUTION: Dict[str, BVExpr] = {}
 
 
 def simplify(expr: BVExpr) -> BVExpr:
     """Return an equivalent, usually smaller bit-vector expression."""
 
-    result = _rebuild(expr, {}, {})
+    cache = _SIMPLIFY_CACHE
+    cache.maybe_evict()
+    result = _rebuild(expr, cache.entries, _EMPTY_SUBSTITUTION, cache)
     assert isinstance(result, BVExpr)
     return result
 
@@ -131,7 +227,9 @@ def simplify(expr: BVExpr) -> BVExpr:
 def simplify_bool(expr: BoolExpr) -> BoolExpr:
     """Return an equivalent, usually smaller boolean expression."""
 
-    result = _rebuild(expr, {}, {})
+    cache = _SIMPLIFY_CACHE
+    cache.maybe_evict()
+    result = _rebuild(expr, cache.entries, _EMPTY_SUBSTITUTION, cache)
     assert isinstance(result, BoolExpr)
     return result
 
@@ -194,10 +292,12 @@ def evaluate_bv(expr: BVExpr, assignment: Assignment,
     Unbound variables take *default* when given, otherwise evaluation fails.
     """
 
-    cache: Dict[tuple, int] = {}
+    # Keyed on identity: interned nodes are canonical and the tree under
+    # *expr* stays alive for the duration of the evaluation.
+    cache: Dict[int, int] = {}
 
     def run(node: Expr) -> int:
-        key = node.key()
+        key = id(node)
         if key in cache:
             return cache[key]
         value = run_uncached(node)

@@ -2,13 +2,16 @@
 
 Every bit-vector term is translated to a list of SAT literals (LSB first);
 every boolean term to a single literal.  Translation is memoized on the
-structural key of the term so shared sub-terms are encoded once — path
-conditions produced by the exploration engine share most of their structure.
+*identity* of the (hash-consed) term so shared sub-terms are encoded once —
+path conditions produced by the exploration engine share most of their
+structure, and interning makes the memo lookup a single small-int hash
+instead of a deep structural one.  Cache entries keep a reference to the
+expression so the id can never be recycled while the entry is live.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import SolverError
 from repro.symbex.expr import (
@@ -39,8 +42,8 @@ class BitBlaster:
 
     def __init__(self, cnf: CNFBuilder) -> None:
         self.cnf = cnf
-        self._bv_cache: Dict[tuple, List[int]] = {}
-        self._bool_cache: Dict[tuple, int] = {}
+        self._bv_cache: Dict[int, Tuple[BVExpr, List[int]]] = {}
+        self._bool_cache: Dict[int, Tuple[BoolExpr, int]] = {}
         self._var_bits: Dict[str, List[int]] = {}
         self._var_widths: Dict[str, int] = {}
 
@@ -66,17 +69,16 @@ class BitBlaster:
     # ------------------------------------------------------------------
 
     def bv_bits(self, expr: BVExpr) -> List[int]:
-        key = expr.key()
-        cached = self._bv_cache.get(key)
+        cached = self._bv_cache.get(id(expr))
         if cached is not None:
-            return cached
+            return cached[1]
         bits = self._bv_bits_uncached(expr)
         if len(bits) != expr.width:
             raise SolverError(
                 "internal bit-blasting error: %r produced %d bits, expected %d"
                 % (expr, len(bits), expr.width)
             )
-        self._bv_cache[key] = bits
+        self._bv_cache[id(expr)] = (expr, bits)
         return bits
 
     def _bv_bits_uncached(self, expr: BVExpr) -> List[int]:
@@ -221,12 +223,11 @@ class BitBlaster:
     # ------------------------------------------------------------------
 
     def bool_lit(self, expr: BoolExpr) -> int:
-        key = expr.key()
-        cached = self._bool_cache.get(key)
+        cached = self._bool_cache.get(id(expr))
         if cached is not None:
-            return cached
+            return cached[1]
         lit = self._bool_lit_uncached(expr)
-        self._bool_cache[key] = lit
+        self._bool_cache[id(expr)] = (expr, lit)
         return lit
 
     def _bool_lit_uncached(self, expr: BoolExpr) -> int:

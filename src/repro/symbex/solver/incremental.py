@@ -90,6 +90,9 @@ class _EncodedGroup:
     #: model verification); empty when the condition simplified to a constant.
     atoms: List[BoolExpr] = field(default_factory=list)
     trivially_false: bool = False
+    #: The original condition; pins the interned term alive so the engine's
+    #: id-keyed group map stays valid for the lifetime of this entry.
+    condition: Optional[BoolExpr] = None
 
 
 @dataclass
@@ -113,10 +116,12 @@ class GroupEncoding:
         self.config = config if config is not None else SolverConfig()
         self.stats = IncrementalStats(backend_rebuilds=1)
         self._lock = threading.RLock()
-        self._sat = SATSolver()
+        self._sat = self.config.make_sat_solver()
         self._cnf = CNFBuilder(self._sat)
         self._blaster = BitBlaster(self._cnf)
-        self._groups: Dict[tuple, _EncodedGroup] = {}
+        # id-keyed: group conditions are hash-consed, so identity is
+        # structural identity (each _EncodedGroup pins its condition alive).
+        self._groups: Dict[int, _EncodedGroup] = {}
         self._pair_cache: Dict[FrozenSet[int], SatResult] = {}
         self._bound_test: Optional[str] = None
 
@@ -144,7 +149,7 @@ class GroupEncoding:
         """Install *condition* behind an activation literal (once per key)."""
 
         with self._lock:
-            key = condition.key()
+            key = id(condition)
             group = self._groups.get(key)
             if group is not None:
                 self.stats.encoding_reuses += 1
@@ -153,10 +158,12 @@ class GroupEncoding:
             simplified = simplify_bool(condition)
             if isinstance(simplified, BoolConst):
                 if simplified.value:
-                    group = _EncodedGroup(activation=self._cnf.true_lit)
+                    group = _EncodedGroup(activation=self._cnf.true_lit,
+                                          condition=condition)
                 else:
                     group = _EncodedGroup(activation=self._cnf.false_lit,
-                                          trivially_false=True)
+                                          trivially_false=True,
+                                          condition=condition)
             else:
                 if isinstance(simplified, BoolAnd):
                     atoms = list(simplified.operands)
@@ -165,7 +172,8 @@ class GroupEncoding:
                 activation = self._cnf.new_var()
                 for atom in atoms:
                     self._cnf.add_clause([-activation, self._blaster.bool_lit(atom)])
-                group = _EncodedGroup(activation=activation, atoms=atoms)
+                group = _EncodedGroup(activation=activation, atoms=atoms,
+                                      condition=condition)
             self._groups[key] = group
             self.stats.groups_encoded += 1
             self.stats.encode_time += time.perf_counter() - started

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.symbex.expr import BoolConst, BoolExpr
 from repro.symbex.simplify import simplify_bool
@@ -96,10 +96,12 @@ class PrefixOracle:
     def __init__(self, config: Optional[SolverConfig] = None) -> None:
         self.config = config if config is not None else SolverConfig()
         self.stats = PrefixOracleStats()
-        self._sat = SATSolver()
+        self._sat = self.config.make_sat_solver()
         self._cnf = CNFBuilder(self._sat)
         self._blaster = BitBlaster(self._cnf)
-        self._literals: Dict[tuple, int] = {}
+        # id-keyed (the expression layer hash-conses terms): entry values
+        # carry the condition so its id stays pinned while the entry lives.
+        self._literals: Dict[int, Tuple[BoolExpr, int]] = {}
         self._prefix_cache: Dict[FrozenSet[int], str] = {}
 
     # ------------------------------------------------------------------
@@ -107,20 +109,19 @@ class PrefixOracle:
     # ------------------------------------------------------------------
 
     def literal(self, condition: BoolExpr) -> int:
-        """The SAT literal equivalent to *condition* (encoded once per key)."""
+        """The SAT literal equivalent to *condition* (encoded once per term)."""
 
-        key = condition.key()
-        lit = self._literals.get(key)
-        if lit is not None:
+        entry = self._literals.get(id(condition))
+        if entry is not None:
             self.stats.literal_reuses += 1
-            return lit
+            return entry[1]
         started = time.perf_counter()
         simplified = simplify_bool(condition)
         if isinstance(simplified, BoolConst):
             lit = self._cnf.const(simplified.value)
         else:
             lit = self._blaster.bool_lit(simplified)
-        self._literals[key] = lit
+        self._literals[id(condition)] = (condition, lit)
         self.stats.literals_encoded += 1
         self.stats.encode_time += time.perf_counter() - started
         return lit
@@ -157,7 +158,16 @@ class PrefixOracle:
 
         started = time.perf_counter()
         self.stats.assumption_solves += 1
-        status = self._sat.solve(assumptions=sorted(assumptions),
+        # Path order (first occurrence), not sorted: consecutive feasibility
+        # checks share long decision prefixes, and the SAT core's assumption-
+        # trail reuse turns a shared prefix into zero re-propagation.
+        ordered: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit != true_lit and lit not in seen:
+                seen.add(lit)
+                ordered.append(lit)
+        status = self._sat.solve(assumptions=ordered,
                                  max_conflicts=self.config.max_conflicts)
         self.stats.solve_time += time.perf_counter() - started
         if status == SATStatus.UNKNOWN:

@@ -3,9 +3,18 @@
 This is the boolean backend of the bit-vector decision procedure.  It is a
 classic conflict-driven clause-learning solver with:
 
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis and clause learning,
-* VSIDS-style variable activities with exponential decay,
+* two-watched-literal unit propagation with a dedicated **binary-clause fast
+  path** (implications of 2-literal clauses are stored as ``(other, clause)``
+  pairs and propagated without touching watch lists),
+* first-UIP conflict analysis and clause learning with **LBD** (literal block
+  distance) tracking,
+* VSIDS-style variable activities with exponential decay, ordered by a
+  **lazy-delete binary heap** so each decision costs O(log n) instead of an
+  O(num_vars) scan,
+* **phase saving** (decisions re-use the variable's last assigned polarity),
+* periodic **learned-clause DB reduction** (glue clauses with LBD <= 2 and
+  clauses locked as reasons are kept; the worst half of the rest, by LBD then
+  activity, is dropped),
 * non-chronological backjumping,
 * geometric restarts,
 * an optional conflict budget so callers can bound worst-case work.
@@ -25,7 +34,8 @@ positive literal ``v`` and the negative literal ``-v``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from heapq import heapify, heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SolverError
 
@@ -41,22 +51,42 @@ class SATStatus:
 
 
 class _Clause:
-    __slots__ = ("literals", "learned", "activity")
+    __slots__ = ("literals", "learned", "activity", "lbd")
 
-    def __init__(self, literals: List[int], learned: bool = False) -> None:
+    def __init__(self, literals: List[int], learned: bool = False,
+                 lbd: int = 0) -> None:
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
+        self.lbd = lbd
 
 
 class SATSolver:
     """Conflict-driven clause-learning SAT solver."""
 
-    def __init__(self) -> None:
+    def __init__(self, phase_saving: bool = True, restart_first: int = 100,
+                 restart_growth: float = 1.5, learned_db_base: int = 4000,
+                 learned_db_growth: float = 1.2) -> None:
+        #: Re-use each variable's last assigned polarity for new decisions.
+        self.phase_saving = phase_saving
+        #: Conflicts before the first restart; grows geometrically.
+        self.restart_first = max(1, int(restart_first))
+        self.restart_growth = restart_growth
+        #: Learned-clause count that triggers the first DB reduction.
+        self.learned_db_base = max(1, int(learned_db_base))
+        self.learned_db_growth = learned_db_growth
+
         self._num_vars = 0
+        # Clause storage: original (3+ literals), binary (exactly 2, original
+        # or learned — never reduced), and learned (3+ literals, reducible).
         self._clauses: List[_Clause] = []
-        # watches[lit] lists clauses currently watching literal `lit`.
+        self._binary: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # watches[lit] lists 3+-literal clauses currently watching `lit`.
         self._watches: Dict[int, List[_Clause]] = {}
+        # bin_watches[lit] lists (other, clause): when `lit` becomes false,
+        # `other` is implied by `clause`.
+        self._bin_watches: Dict[int, List[Tuple[int, _Clause]]] = {}
         # assignment[var] is None / True / False.
         self._assignment: List[Optional[bool]] = [None]
         self._level: List[int] = [0]
@@ -65,13 +95,30 @@ class SATSolver:
         self._polarity: List[bool] = [False]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
+        # Lazy-delete decision-order heap of (-activity, var): stale entries
+        # (assigned vars, outdated activities) are discarded or re-keyed at
+        # pop time; every unassigned variable is always present.
+        self._heap: List[Tuple[float, int]] = []
+        self._qhead = 0
+        # Assumption-trail reuse: the literal sequence of the previous call's
+        # assumptions still standing on the trail, and the decision level
+        # reached after applying each one.  A new call keeps the longest
+        # matching prefix assigned instead of re-propagating it from level 0.
+        self._assumption_seq: List[int] = []
+        self._assumption_marks: List[int] = []
         self._var_inc = 1.0
         self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._learned_limit = self.learned_db_base
         self._root_conflict = False
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.solves = 0
+        self.restarts = 0
+        self.db_reductions = 0
+        self.learned_deleted = 0
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -86,6 +133,7 @@ class SATSolver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._polarity.append(False)
+        heappush(self._heap, (0.0, self._num_vars))
         return self._num_vars
 
     @property
@@ -94,7 +142,11 @@ class SATSolver:
 
     @property
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        return len(self._clauses) + len(self._binary) + len(self._learned)
+
+    @property
+    def num_learned(self) -> int:
+        return len(self._learned)
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT."""
@@ -103,6 +155,7 @@ class SATSolver:
             # Clauses may arrive between queries (incremental use); watched
             # literals must be chosen against the root-level state only.
             self._backtrack(0)
+            self._reset_assumption_trail()
         seen = set()
         clause: List[int] = []
         for lit in literals:
@@ -132,13 +185,22 @@ class SATSolver:
                 return False
             return True
         c = _Clause(clause)
-        self._clauses.append(c)
-        self._watch(c)
+        if len(clause) == 2:
+            self._binary.append(c)
+            self._watch_binary(c)
+        else:
+            self._clauses.append(c)
+            self._watch(c)
         return True
 
     def _watch(self, clause: _Clause) -> None:
         for lit in clause.literals[:2]:
             self._watches.setdefault(lit, []).append(clause)
+
+    def _watch_binary(self, clause: _Clause) -> None:
+        a, b = clause.literals
+        self._bin_watches.setdefault(a, []).append((b, clause))
+        self._bin_watches.setdefault(b, []).append((a, clause))
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -159,7 +221,7 @@ class SATSolver:
             return value
         var = abs(lit)
         self._assignment[var] = lit > 0
-        self._level[var] = self._decision_level()
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._polarity[var] = lit > 0
         self._trail.append(lit)
@@ -168,15 +230,28 @@ class SATSolver:
     def _propagate(self) -> Optional[_Clause]:
         """Unit propagation; returns a conflicting clause or None."""
 
-        head = len(self._trail) - 1
-        # We re-scan from the last unpropagated literal.  The queue pointer is
-        # maintained implicitly through _qhead.
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
+        trail = self._trail
+        assignment = self._assignment
+        bin_watches = self._bin_watches
+        watches = self._watches
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
             self._qhead += 1
             self.propagations += 1
             false_lit = -lit
-            watchers = self._watches.get(false_lit)
+
+            # Binary fast path: direct implications, no watch maintenance.
+            bins = bin_watches.get(false_lit)
+            if bins:
+                for other, bin_clause in bins:
+                    var = other if other > 0 else -other
+                    value = assignment[var]
+                    if value is None:
+                        self._enqueue(other, bin_clause)
+                    elif value != (other > 0):
+                        return bin_clause
+
+            watchers = watches.get(false_lit)
             if not watchers:
                 continue
             new_watchers: List[_Clause] = []
@@ -191,32 +266,37 @@ class SATSolver:
                 literals = clause.literals
                 # Ensure the false literal is in position 1.
                 if literals[0] == false_lit:
-                    literals[0], literals[1] = literals[1], literals[0]
+                    literals[0] = literals[1]
+                    literals[1] = false_lit
                 first = literals[0]
-                if self._value(first) is True:
+                first_var = first if first > 0 else -first
+                first_value = assignment[first_var]
+                if first_value is not None and first_value == (first > 0):
                     new_watchers.append(clause)
                     continue
                 # Look for a replacement watch.
                 found = False
                 for position in range(2, len(literals)):
                     candidate = literals[position]
-                    if self._value(candidate) is not False:
-                        literals[1], literals[position] = literals[position], literals[1]
-                        self._watches.setdefault(candidate, []).append(clause)
+                    cand_var = candidate if candidate > 0 else -candidate
+                    cand_value = assignment[cand_var]
+                    if cand_value is None or cand_value == (candidate > 0):
+                        literals[1] = candidate
+                        literals[position] = false_lit
+                        watches.setdefault(candidate, []).append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
                 new_watchers.append(clause)
-                if self._value(first) is False:
+                if first_value is not None:  # and it is not satisfying: conflict
                     conflict = clause
                 else:
                     self._enqueue(first, clause)
-            self._watches[false_lit] = new_watchers
+            watches[false_lit] = new_watchers
             if conflict is not None:
                 return conflict
-        del head
         return None
 
     # ------------------------------------------------------------------
@@ -224,17 +304,35 @@ class SATSolver:
     # ------------------------------------------------------------------
 
     def _bump(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity[var] + self._var_inc
+        self._activity[var] = activity
+        if activity > 1e100:
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._var_inc *= 1e-100
+            self._rebuild_heap()
+        elif self._assignment[var] is None:
+            heappush(self._heap, (-activity, var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            # Rescale every learned clause, including binary ones (stored in
+            # _binary): missing any would leave its activity above the
+            # threshold forever and re-trigger the rescale on each bump.
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            for binary in self._binary:
+                if binary.learned:
+                    binary.activity *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _decay(self) -> None:
         self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
 
-    def _analyze(self, conflict: _Clause) -> (List[int], int):
-        """First-UIP conflict analysis; returns (learned clause, backjump level)."""
+    def _analyze(self, conflict: _Clause) -> (List[int], int, int):
+        """First-UIP analysis; returns (learned clause, backjump level, LBD)."""
 
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._num_vars + 1)
@@ -246,6 +344,8 @@ class SATSolver:
 
         while True:
             assert reason is not None, "decision literal reached without UIP"
+            if reason.learned:
+                self._bump_clause(reason)
             for clause_lit in reason.literals:
                 if lit is not None and clause_lit == lit:
                     continue
@@ -285,16 +385,26 @@ class SATSolver:
                     backjump = level
                     witness = position
             learned[1], learned[witness] = learned[witness], learned[1]
-        return learned, backjump
+        lbd = len({self._level[abs(l)] for l in learned})
+        return learned, backjump, lbd
+
+    def _reset_assumption_trail(self) -> None:
+        del self._assumption_seq[:]
+        del self._assumption_marks[:]
 
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
             return
         boundary = self._trail_lim[level]
+        assignment = self._assignment
+        reason = self._reason
+        activity = self._activity
+        heap = self._heap
         for lit in reversed(self._trail[boundary:]):
             var = abs(lit)
-            self._assignment[var] = None
-            self._reason[var] = None
+            assignment[var] = None
+            reason[var] = None
+            heappush(heap, (-activity[var], var))
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
@@ -303,14 +413,75 @@ class SATSolver:
     # Decisions
     # ------------------------------------------------------------------
 
+    def _rebuild_heap(self) -> None:
+        self._heap = [(-self._activity[var], var)
+                      for var in range(1, self._num_vars + 1)
+                      if self._assignment[var] is None]
+        heapify(self._heap)
+
     def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assignment[var] is None and self._activity[var] > best_activity:
-                best_var = var
-                best_activity = self._activity[var]
-        return best_var
+        heap = self._heap
+        if len(heap) > 4 * self._num_vars + 64:
+            # Lazy deletes accumulated; compact to bound memory.
+            self._rebuild_heap()
+            heap = self._heap
+        assignment = self._assignment
+        activity = self._activity
+        while heap:
+            neg_activity, var = heap[0]
+            if assignment[var] is not None:
+                heappop(heap)  # stale: assigned since it was pushed
+                continue
+            if -neg_activity != activity[var]:
+                heappop(heap)  # stale priority: re-key with the current one
+                heappush(heap, (-activity[var], var))
+                continue
+            return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Learned-clause DB reduction
+    # ------------------------------------------------------------------
+
+    def _locked(self, clause: _Clause) -> bool:
+        first = clause.literals[0]
+        var = abs(first)
+        return self._assignment[var] is not None and self._reason[var] is clause
+
+    def _reduce_learned(self) -> None:
+        """Drop the worst half of the reducible learned clauses.
+
+        Glue clauses (LBD <= 2) and clauses locked as the reason of a current
+        assignment are always kept, so the procedure is safe at any decision
+        level; surviving clauses keep their watch positions, so rebuilding
+        the watch lists preserves the exact propagation state minus the
+        deleted clauses.
+        """
+
+        keep: List[_Clause] = []
+        removable: List[_Clause] = []
+        for clause in self._learned:
+            if clause.lbd <= 2 or self._locked(clause):
+                keep.append(clause)
+            else:
+                removable.append(clause)
+        removable.sort(key=lambda c: (c.lbd, -c.activity))
+        cut = len(removable) // 2
+        keep.extend(removable[:cut])
+        deleted = removable[cut:]
+        self._learned_limit = int(self._learned_limit * self.learned_db_growth) + 1
+        if not deleted:
+            return
+        dead = frozenset(map(id, deleted))
+        self._learned = keep
+        watches = self._watches
+        for lit in list(watches.keys()):
+            watchers = watches[lit]
+            kept = [c for c in watchers if id(c) not in dead]
+            if len(kept) != len(watchers):
+                watches[lit] = kept
+        self.learned_deleted += len(deleted)
+        self.db_reductions += 1
 
     # ------------------------------------------------------------------
     # Main loop
@@ -329,28 +500,56 @@ class SATSolver:
         if self._root_conflict:
             return SATStatus.UNSAT
 
-        self._backtrack(0)
-        self._qhead = 0
+        # Assumption-trail reuse: keep the longest prefix of *assumptions*
+        # matching the previous call's sequence assigned on the trail instead
+        # of backtracking to level 0 and re-propagating it.  Anything else
+        # standing at those levels is formula-implied (learned units enqueued
+        # during the previous search), so keeping it is sound regardless of
+        # the new assumption suffix.
+        matched = 0
+        seq = self._assumption_seq
+        limit = min(len(seq), len(assumptions))
+        while matched < limit and seq[matched] == assumptions[matched]:
+            matched += 1
+        keep_level = self._assumption_marks[matched - 1] if matched else 0
+        self._backtrack(keep_level)
+        del self._assumption_seq[matched:]
+        del self._assumption_marks[matched:]
+        # The kept trail is already propagated to fixpoint: backtrack keeps
+        # assignments and add_clause() propagates new root units at insertion
+        # time, so only literals enqueued past _qhead (if any) need
+        # processing — no O(trail) re-scan per incremental call.
         conflict = self._propagate()
         if conflict is not None:
+            if self._decision_level() == 0:
+                self._root_conflict = True
+                return SATStatus.UNSAT
+            self._reset_assumption_trail()
+            self._backtrack(0)
             return SATStatus.UNSAT
 
-        # Apply assumptions as decisions at successive levels.
-        for lit in assumptions:
+        # Apply the remaining assumptions as decisions at successive levels.
+        for lit in assumptions[matched:]:
             if self._value(lit) is True:
+                self._assumption_seq.append(lit)
+                self._assumption_marks.append(self._decision_level())
                 continue
             if self._value(lit) is False:
+                self._reset_assumption_trail()
                 self._backtrack(0)
                 return SATStatus.UNSAT
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
             conflict = self._propagate()
             if conflict is not None:
+                self._reset_assumption_trail()
                 self._backtrack(0)
                 return SATStatus.UNSAT
+            self._assumption_seq.append(lit)
+            self._assumption_marks.append(self._decision_level())
         assumption_level = self._decision_level()
 
-        restart_limit = 100
+        restart_limit = self.restart_first
         conflicts_since_restart = 0
         total_budget = max_conflicts
         conflicts_at_start = self.conflicts
@@ -361,27 +560,37 @@ class SATSolver:
                 self.conflicts += 1
                 conflicts_since_restart += 1
                 if total_budget is not None and self.conflicts - conflicts_at_start > total_budget:
+                    self._reset_assumption_trail()
                     self._backtrack(0)
                     return SATStatus.UNKNOWN
                 if self._decision_level() <= assumption_level:
+                    self._reset_assumption_trail()
                     self._backtrack(0)
                     return SATStatus.UNSAT
-                learned, backjump = self._analyze(conflict)
+                learned, backjump, lbd = self._analyze(conflict)
                 self._backtrack(max(backjump, assumption_level))
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
+                        self._reset_assumption_trail()
                         self._backtrack(0)
                         return SATStatus.UNSAT
                 else:
-                    clause = _Clause(learned, learned=True)
-                    self._clauses.append(clause)
-                    self._watch(clause)
+                    clause = _Clause(learned, learned=True, lbd=lbd)
+                    if len(learned) == 2:
+                        self._binary.append(clause)
+                        self._watch_binary(clause)
+                    else:
+                        self._learned.append(clause)
+                        self._watch(clause)
                     self._enqueue(learned[0], clause)
                 self._decay()
+                if len(self._learned) >= self._learned_limit:
+                    self._reduce_learned()
             else:
                 if conflicts_since_restart >= restart_limit:
                     conflicts_since_restart = 0
-                    restart_limit = int(restart_limit * 1.5)
+                    restart_limit = int(restart_limit * self.restart_growth)
+                    self.restarts += 1
                     self._backtrack(assumption_level)
                     continue
                 var = self._pick_branch_variable()
@@ -389,7 +598,7 @@ class SATSolver:
                     return SATStatus.SAT
                 self.decisions += 1
                 self._trail_lim.append(len(self._trail))
-                polarity = self._polarity[var]
+                polarity = self._polarity[var] if self.phase_saving else False
                 self._enqueue(var if polarity else -var, None)
 
     # ------------------------------------------------------------------
@@ -411,5 +620,18 @@ class SATSolver:
             if self._assignment[var] is not None
         }
 
-    # Internal: propagation queue head (index into the trail).
-    _qhead = 0
+    def stats_dict(self) -> Dict[str, int]:
+        """Search counters (decisions, propagations, learned-DB activity)."""
+
+        return {
+            "variables": self._num_vars,
+            "clauses": self.num_clauses,
+            "learned": len(self._learned),
+            "solves": self.solves,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "db_reductions": self.db_reductions,
+            "learned_deleted": self.learned_deleted,
+        }

@@ -8,8 +8,11 @@ constraints (implicitly conjoined).  The pipeline is:
 3. bit-blast the remaining constraints and run the CDCL SAT solver,
 4. extract the model, verify it by concrete evaluation and return it.
 
-Queries are cached on the structural keys of the (sorted) constraints, which
-matters for the crosscheck phase where many grouped conditions share clauses.
+Queries are cached on the identities of the (sorted) simplified constraints
+— hash-consing makes identity structural, so the cache key is a tuple of
+small ints instead of nested structural keys; each cached entry keeps the
+constraint list alive so ids cannot be recycled.  This matters for the
+crosscheck phase where many grouped conditions share clauses.
 """
 
 from __future__ import annotations
@@ -70,6 +73,24 @@ class SolverConfig:
     use_cache: bool = True
     #: Verify every SAT model by concrete evaluation (cheap; keep on).
     verify_models: bool = True
+    #: SAT-core: decisions re-use each variable's last assigned polarity.
+    phase_saving: bool = True
+    #: SAT-core: learned-clause count triggering the first DB reduction.
+    learned_db_base: int = 4000
+    #: SAT-core: growth factor of the reduction threshold after each pass.
+    learned_db_growth: float = 1.2
+    #: SAT-core: conflicts before the first restart (geometric growth after).
+    restart_first: int = 100
+
+    def make_sat_solver(self) -> SATSolver:
+        """Build a :class:`SATSolver` configured with these knobs."""
+
+        return SATSolver(
+            phase_saving=self.phase_saving,
+            restart_first=self.restart_first,
+            learned_db_base=self.learned_db_base,
+            learned_db_growth=self.learned_db_growth,
+        )
 
 
 @dataclass
@@ -136,7 +157,9 @@ class Solver:
     def __init__(self, config: SolverConfig = None) -> None:
         self.config = config if config is not None else SolverConfig()
         self.stats = SolverStats()
-        self._cache: Dict[Tuple[tuple, ...], SatResult] = {}
+        # Cache values carry the constraint list to pin the interned terms
+        # the id-tuple key refers to.
+        self._cache: Dict[Tuple[int, ...], Tuple[List[BoolExpr], SatResult]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -206,13 +229,13 @@ class Solver:
         if not simplified:
             return SatResult(SATStatus.SAT, model={})
 
-        cache_key: Optional[Tuple[tuple, ...]] = None
+        cache_key: Optional[Tuple[int, ...]] = None
         if self.config.use_cache:
-            cache_key = tuple(sorted(c.key() for c in simplified))
+            cache_key = tuple(sorted(id(c) for c in simplified))
             cached = self._cache.get(cache_key)
             if cached is not None:
                 self.stats.cache_hits += 1
-                return SatResult(cached.status, dict(cached.model))
+                return SatResult(cached[1].status, dict(cached[1].model))
 
         result = self._decide(simplified)
 
@@ -223,7 +246,8 @@ class Solver:
                 # return the stale UNKNOWN forever.
                 self.stats.unknown_cache_skips += 1
             else:
-                self._cache[cache_key] = SatResult(result.status, dict(result.model))
+                self._cache[cache_key] = (
+                    simplified, SatResult(result.status, dict(result.model)))
         return result
 
     def _decide(self, constraints: List[BoolExpr]) -> SatResult:
@@ -242,7 +266,7 @@ class Solver:
     def _decide_with_sat(self, constraints: List[BoolExpr]) -> SatResult:
         started = time.perf_counter()
         self.stats.sat_backend_runs += 1
-        sat = SATSolver()
+        sat = self.config.make_sat_solver()
         cnf = CNFBuilder(sat)
         blaster = BitBlaster(cnf)
         for constraint in constraints:

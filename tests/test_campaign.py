@@ -194,6 +194,32 @@ def test_campaign_rerun_reports_per_run_cache_stats():
     assert second.cache_hits == 2
 
 
+def test_campaign_reset_intern_starts_fresh_generation():
+    campaign = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                        reset_intern=True)
+    first = campaign.run()
+    assert first.intern_stats["reset"] is True
+    assert first.intern_stats["distinct_terms"] > 0
+    engines_after_first = campaign.encodings.engine_count
+    assert engines_after_first >= 1
+    second = campaign.run()
+    # A reset run drops explored Phase-1 entries and the per-test incremental
+    # engines: everything is rebuilt against the new intern generation
+    # instead of re-encoding into the old engines forever.
+    assert second.explorations_run == 2
+    assert second.cache_hits == 0
+    assert second.total_inconsistencies == first.total_inconsistencies
+    assert campaign.encodings.engine_count == engines_after_first
+
+
+def test_campaign_default_run_reports_intern_stats():
+    report = Campaign(tests=["concrete"], agents=["reference", "ovs"]).run()
+    stats = report.intern_stats
+    assert stats["reset"] is False
+    assert stats["distinct_terms"] > 0 and stats["memory_bytes"] > 0
+    assert "intern_stats" in report.to_dict()
+
+
 def test_campaign_reports_unused_loaded_artifacts():
     from repro.core.explorer import explore_agent
 

@@ -1,0 +1,319 @@
+"""Tests for expression hash-consing and the overhauled SAT core.
+
+Covers the interning invariants (construction, serialization and pickling all
+yield pointer-identical terms; generations survive a table reset), the
+bounded simplify memo, and the SAT solver's incremental edge cases: budget
+exhaustion followed by a successful re-solve, conflicting assumptions leaving
+the trail clean, clause addition after restarts, determinism across restart
+schedules, and learned-clause DB reduction.
+"""
+
+import pickle
+
+import pytest
+
+from repro.symbex.expr import (
+    BoolConst,
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    bv,
+    bvvar,
+    collect_variables,
+    concat,
+    expr_size,
+    extract,
+    intern_table,
+    ite,
+    structurally_equal,
+    zero_extend,
+)
+from repro.symbex.serialize import expr_from_obj, expr_to_obj
+from repro.symbex.simplify import (
+    clear_simplify_cache,
+    set_simplify_cache_limit,
+    simplify_bool,
+    simplify_cache_stats,
+)
+from repro.symbex.solver import SATSolver, SATStatus
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+
+def test_construction_is_interned():
+    assert (bvvar("x", 8) + 1) is (bvvar("x", 8) + 1)
+    assert (bvvar("x", 8) == 3) is (bvvar("x", 8) == 3)
+    assert bool_not(bvvar("x", 8) == 3) is bool_not(bvvar("x", 8) == 3)
+    assert (bvvar("x", 8) + 1) is not (bvvar("x", 8) + 2)
+
+
+def test_structural_equality_is_pointer_equality():
+    x = bvvar("x", 16)
+    a = concat(extract(x, 15, 8), bv(0xFF, 8))
+    b = concat(extract(x, 15, 8), bv(0xFF, 8))
+    assert a is b
+    assert structurally_equal(a, b)
+
+
+def test_compound_terms_share_subterms():
+    x = bvvar("x", 16)
+    left = (x + 1) ^ (x + 1)
+    assert left.lhs is left.rhs
+    assert expr_size(left) == 4  # xor, add, x, 1 — shared nodes counted once
+
+
+def test_nary_dedup_uses_identity():
+    x = bvvar("x", 8)
+    cond = x == 1
+    assert bool_and(cond, cond) is cond
+    both = bool_and(cond, x == 2)
+    assert bool_and(cond, x == 2) is both
+    assert bool_or(cond, bool_or(cond, x == 2)) is bool_or(cond, x == 2)
+
+
+def test_serialize_roundtrip_is_pointer_identical():
+    x = bvvar("pkt", 32)
+    term = bool_and(extract(x, 31, 16) == 0xABCD,
+                    bool_or(x != 0, zero_extend(extract(x, 7, 0), 32) < 9),
+                    ite(x == 1, bv(3, 32), x) > 1)
+    assert expr_from_obj(expr_to_obj(term)) is term
+
+
+def test_pickle_roundtrip_is_pointer_identical():
+    x = bvvar("pkt", 16)
+    term = bool_not((x & 0x0F00) == 0x0200)
+    assert pickle.loads(pickle.dumps(term)) is term
+
+
+def test_intern_stats_count_hits():
+    table = intern_table()
+    before = table.hits
+    first = bvvar("stats_probe", 24) + 7  # may miss or hit depending on history
+    again = bvvar("stats_probe", 24) + 7  # every node of this one must hit
+    assert again is first
+    assert table.hits > before
+    stats = table.stats_dict()
+    assert stats["distinct_terms"] == len(table._terms)
+    assert stats["memory_bytes"] > 0
+    assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+def test_intern_reset_keeps_constant_singletons():
+    x = bvvar("reset_probe", 8)
+    old_term = x + 5
+    intern_table().reset()
+    clear_simplify_cache()  # memo entries pin the old generation; drop them
+    try:
+        assert BoolConst(True) is TRUE
+        assert BoolConst(False) is FALSE
+        assert (bv(3, 8) < 5) is TRUE
+        new_term = bvvar("reset_probe", 8) + 5
+        # Across generations identity is lost but structural equality holds.
+        assert new_term is not old_term
+        assert structurally_equal(new_term, old_term)
+        assert collect_variables(old_term) == {"reset_probe": 8}
+    finally:
+        clear_simplify_cache()
+
+
+def test_invalid_construction_is_not_interned():
+    from repro.errors import ExpressionError
+    from repro.symbex.expr import BVExtract, BVSignExt, BVZeroExt
+
+    distinct_before = intern_table().distinct_terms
+    with pytest.raises(ExpressionError):
+        bvvar("", 8)
+    with pytest.raises(ExpressionError):
+        extract(bvvar("y", 8), 9, 0)
+    assert intern_table().distinct_terms <= distinct_before + 1  # only "y"
+
+
+def test_invalid_scalars_do_not_false_hit_the_intern_table():
+    from repro.errors import ExpressionError
+    from repro.symbex.expr import BVExtract, BVSignExt, BVZeroExt, BVVar
+
+    # Scalar key components hash by value (8.0 == 8): validation must run
+    # before the cache lookup or a float width would return the cached term.
+    y = BVVar("float_probe", 8)
+    BVExtract(y, 5, 1)
+    for build in (lambda: BVVar("float_probe", 8.0),
+                  lambda: BVExtract(y, 5.0, 1),
+                  lambda: BVZeroExt(y, 16.0),
+                  lambda: BVSignExt(y, 16.0)):
+        with pytest.raises(ExpressionError):
+            build()
+
+
+# ---------------------------------------------------------------------------
+# Bounded simplify memo
+# ---------------------------------------------------------------------------
+
+def test_simplify_cache_is_bounded_and_observable():
+    clear_simplify_cache()
+    set_simplify_cache_limit(64)
+    try:
+        x = bvvar("bound_probe", 32)
+        for value in range(200):
+            simplify_bool(bool_or(x == value, x + value != 3))
+        stats = simplify_cache_stats()
+        # Eviction keeps the memo at/below the bound (+ one batch in flight).
+        assert stats["size"] <= 64 + 16
+        assert stats["evictions"] > 0
+        assert stats["hits"] > 0  # shared subterms hit within/between calls
+    finally:
+        set_simplify_cache_limit(200_000)
+        clear_simplify_cache()
+
+
+def test_exploration_stats_surface_simplify_cache():
+    from repro.symbex.engine import Engine
+
+    def program(state):
+        x = state.new_symbol("x", 8)
+        if x == 3:
+            return 1
+        return 0
+
+    result = Engine().explore(program)
+    stats = result.stats
+    assert stats.paths == 2
+    assert stats.simplify_cache_size > 0
+    as_dict = stats.as_dict()
+    for key in ("simplify_cache_hits", "simplify_cache_misses",
+                "simplify_cache_size"):
+        assert key in as_dict
+
+
+# ---------------------------------------------------------------------------
+# SAT core: incremental edge cases
+# ---------------------------------------------------------------------------
+
+def _pigeonhole(solver, pigeons, holes):
+    """At-least-one-hole per pigeon, at-most-one-pigeon per hole (UNSAT if
+    pigeons > holes)."""
+
+    grid = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        solver.add_clause(row)
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                solver.add_clause([-grid[first][hole], -grid[second][hole]])
+    return grid
+
+
+def test_sat_unknown_then_resolve_with_larger_budget():
+    solver = SATSolver()
+    _pigeonhole(solver, 5, 4)
+    assert solver.solve(max_conflicts=1) == SATStatus.UNKNOWN
+    # Same instance, raised budget: the answer must come back, and the
+    # UNKNOWN attempt must not have corrupted the trail or the clause DB.
+    assert solver.solve(max_conflicts=200_000) == SATStatus.UNSAT
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_sat_conflicting_assumptions_leave_trail_clean():
+    solver = SATSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a])
+    solver.add_clause([-a, b])
+    assert solver.solve(assumptions=[-a]) == SATStatus.UNSAT
+    # Failed assumptions must fully unwind: no decision levels left, and no
+    # assumption-polluted assignments beyond the root-implied ones.
+    assert solver._decision_level() == 0
+    assert all(solver._level[abs(lit)] == 0 for lit in solver._trail)
+    assert solver.solve(assumptions=[b]) == SATStatus.SAT
+    assert solver.solve() == SATStatus.SAT
+    assert solver.model_value(a) is True
+    assert solver.model_value(b) is True
+
+
+def test_sat_assumption_prefix_reuse_is_sound():
+    solver = SATSolver()
+    a, b, c = solver.new_var(), solver.new_var(), solver.new_var()
+    solver.add_clause([-a, -b, c])
+    # Shared prefix [a, b] across consecutive calls exercises the
+    # assumption-trail reuse path (no full re-propagation).
+    assert solver.solve(assumptions=[a, b, c]) == SATStatus.SAT
+    assert solver.solve(assumptions=[a, b, -c]) == SATStatus.UNSAT
+    assert solver.solve(assumptions=[a, -b, -c]) == SATStatus.SAT
+    assert solver.solve(assumptions=[a, b]) == SATStatus.SAT
+    assert solver.model_value(c) is True
+    assert solver.solve() == SATStatus.SAT
+
+
+def test_sat_clause_addition_after_restart():
+    solver = SATSolver(restart_first=1)  # restart on every conflict
+    grid = _pigeonhole(solver, 4, 4)
+    assert solver.solve() == SATStatus.SAT
+    assert solver.restarts >= 0  # schedule ran; SAT may arrive pre-restart
+    # Pin pigeon 0 away from every hole but the last, then re-query.
+    for hole in range(3):
+        solver.add_clause([-grid[0][hole]])
+    assert solver.solve() == SATStatus.SAT
+    assert solver.model_value(grid[0][3]) is True
+    solver.add_clause([-grid[0][3]])
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_sat_results_deterministic_across_restart_schedules():
+    def build(**kwargs):
+        solver = SATSolver(**kwargs)
+        grid = _pigeonhole(solver, 4, 4)
+        solver.add_clause([grid[0][0], grid[1][1]])
+        return solver, grid
+
+    statuses = []
+    models = []
+    for restart_first in (1, 3, 100):
+        solver, grid = build(restart_first=restart_first)
+        statuses.append(solver.solve())
+        models.append(solver.model())
+    assert statuses == [SATStatus.SAT] * 3
+    # Any model must satisfy the formula regardless of the schedule.
+    for model in models:
+        assert model  # non-empty assignment
+
+    unsat_statuses = []
+    for restart_first in (1, 3, 100):
+        solver = SATSolver(restart_first=restart_first)
+        _pigeonhole(solver, 5, 4)
+        unsat_statuses.append(solver.solve())
+    assert unsat_statuses == [SATStatus.UNSAT] * 3
+
+
+def test_sat_learned_db_reduction_triggers_and_stays_correct():
+    solver = SATSolver(learned_db_base=8, learned_db_growth=1.05)
+    _pigeonhole(solver, 6, 5)
+    assert solver.solve() == SATStatus.UNSAT
+    assert solver.db_reductions >= 1
+    assert solver.learned_deleted > 0
+    stats = solver.stats_dict()
+    assert stats["db_reductions"] == solver.db_reductions
+    assert stats["decisions"] > 0 and stats["propagations"] > 0
+
+
+def test_sat_phase_saving_knob():
+    for phase_saving in (True, False):
+        solver = SATSolver(phase_saving=phase_saving)
+        grid = _pigeonhole(solver, 3, 3)
+        assert solver.solve() == SATStatus.SAT
+        model = solver.model()
+        for row in grid:
+            assert any(model.get(var, False) for var in row)
+
+
+def test_sat_binary_clause_fast_path_chain():
+    solver = SATSolver()
+    variables = [solver.new_var() for _ in range(12)]
+    for left, right in zip(variables, variables[1:]):
+        solver.add_clause([-left, right])  # left -> right
+    solver.add_clause([variables[0]])
+    assert solver.solve() == SATStatus.SAT
+    assert all(solver.model_value(var) for var in variables)
+    solver.add_clause([-variables[-1]])
+    assert solver.solve() == SATStatus.UNSAT
