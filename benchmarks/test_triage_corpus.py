@@ -1,0 +1,116 @@
+"""Witness triage + corpus benchmark (the §3.5 "actionable output" layer).
+
+Runs the default triage pipeline on the seed catalog (reference vs modified),
+then exercises the persistent corpus as a solver-free regression suite.  Two
+properties are gated and one trajectory point is emitted:
+
+* every raw inconsistency must be replay-confirmed and clustered, with at
+  least one cluster merging >= 2 raw witnesses and every minimized witness
+  strictly smaller than its original;
+* the corpus replay must confirm every stored bundle without a single solver
+  query (the solver entry points are poisoned for the duration);
+* ``BENCH_triage.json`` records witnesses/sec replayed from the corpus and
+  the minimization shrink ratio, both guarded by
+  ``benchmarks/compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.campaign import Campaign
+from repro.core.corpus import WitnessCorpus
+from repro.symbex.solver.incremental import GroupEncoding
+from repro.symbex.solver.solver import Solver
+
+TESTS = ("set_config", "flow_mod")
+AGENTS = ("reference", "modified")
+#: Replay the whole corpus this many times for a stable throughput estimate.
+CORPUS_ROUNDS = 5
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_triage.json")
+
+
+def test_triage_and_corpus_benchmark(tmp_path):
+    corpus_dir = str(tmp_path / "bench_corpus")
+    campaign_started = time.perf_counter()
+    report = (Campaign(corpus_dir=corpus_dir)
+              .with_tests(*TESTS)
+              .with_agents(*AGENTS)
+              .run())
+    campaign_time = time.perf_counter() - campaign_started
+    triage = report.triage
+
+    # -- triage gates ------------------------------------------------------
+    assert triage is not None and triage.raw_witnesses > 0
+    assert triage.confirmed_witnesses == triage.raw_witnesses
+    assert triage.merged_cluster_count >= 1
+    assert triage.cluster_count < triage.raw_witnesses
+    witnesses = [w for sr in report.reports for w in sr.witnesses]
+    assert all(w.minimization is not None and w.minimization.reduced
+               for w in witnesses)
+
+    # -- corpus replay throughput (solver poisoned) ------------------------
+    corpus = WitnessCorpus(corpus_dir, create=False)
+    assert len(corpus) == triage.cluster_count
+
+    solver_check = Solver.check
+    engine_check = GroupEncoding.check_pair
+
+    def poisoned(*args, **kwargs):
+        raise AssertionError("solver query during corpus replay")
+
+    Solver.check = poisoned
+    GroupEncoding.check_pair = poisoned
+    try:
+        runs = [corpus.run() for _ in range(CORPUS_ROUNDS)]
+    finally:
+        Solver.check = solver_check
+        GroupEncoding.check_pair = engine_check
+    assert all(run.ok for run in runs)
+    best = max(runs, key=lambda run: run.witnesses_per_sec)
+    replayed = sum(run.replayed for run in runs)
+
+    rows = [(cluster.signature.short()[:60], cluster.size,
+             "%d<-%d" % (cluster.representative.variable_count,
+                         cluster.representative.minimization.original_variables))
+            for cluster in triage.clusters]
+    print_table("witness clusters (raw -> minimized representative)",
+                ("signature", "raw", "vars"), rows)
+    print_table("corpus replay", ("round", "witnesses", "wall", "per_sec"),
+                [(index, run.replayed, "%.3fs" % run.wall_time,
+                  "%.0f" % run.witnesses_per_sec)
+                 for index, run in enumerate(runs)])
+
+    data = {
+        "tests": list(TESTS),
+        "agents": list(AGENTS),
+        "campaign_wall_clock": campaign_time,
+        "triage": {
+            "raw_witnesses": triage.raw_witnesses,
+            "confirmed_witnesses": triage.confirmed_witnesses,
+            "clusters": triage.cluster_count,
+            "merged_clusters": triage.merged_cluster_count,
+            "dedup_ratio": triage.dedup_ratio,
+            "minimization_replays": triage.minimization_replays,
+        },
+        "minimization": {
+            "shrink_ratio": triage.mean_shrink_ratio,
+            "all_reduced": True,
+        },
+        "corpus": {
+            "witnesses": len(corpus),
+            "rounds": CORPUS_ROUNDS,
+            "replayed": replayed,
+            "replays_per_sec": best.witnesses_per_sec,
+            "solver_queries": 0,
+            "all_confirmed": all(run.ok for run in runs),
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print("\nwrote %s" % os.path.abspath(BENCH_PATH))

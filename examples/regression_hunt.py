@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
 """Regression testing of a modified firmware build (paper §5.1.1 scenario).
 
-A vendor ships a new build of its agent ("modified") and wants to know whether
-its externally visible behaviour changed relative to the previous release
-("reference").  SOFT is run over several test specifications; every reported
-inconsistency is a behavioural regression candidate, and the generated
-concrete test case is the bug report.  The example also shows the two kinds of
-change SOFT structurally cannot see (handshake-only and timer-driven
-behaviour), and contrasts the result with the manual OFTest-style baseline,
-which passes on both builds.
+A vendor ships a new build of its agent ("modified") and wants to know
+whether its externally visible behaviour changed relative to the previous
+release ("reference").  The modern workflow is two-tier:
+
+1. **Hunt** (slow, symbolic): one campaign over the interesting test
+   specifications.  The default witness triage turns the raw inconsistency
+   list into something actionable — every divergence is confirmed by
+   concrete replay, delta-minimized to the few variables that matter, and
+   clustered by divergence signature, so dozens of raw reports collapse to
+   a handful of root causes.  The confirmed cluster representatives are
+   persisted as witness bundles (`soft triage --corpus`).
+2. **Guard** (fast, concrete): from then on, every new build replays the
+   stored corpus (`soft corpus run`) — pure concrete execution, zero solver
+   queries — and fails the moment a stored witness stops diverging, i.e.
+   the moment behaviour moved again.
+
+The manual OFTest-style baseline passes on both builds and sees nothing.
 
     python examples/regression_hunt.py
 """
 
+import shutil
+import tempfile
+
 from repro.agents.modified.mutations import MUTATIONS
 from repro.baselines.oftest import run_suite
-from repro.core.soft import SOFT
+from repro.core.campaign import Campaign
+from repro.core.corpus import WitnessCorpus
 
 TESTS = ("packet_out", "stats_request", "set_config", "flow_mod")
 
@@ -27,25 +40,44 @@ def main() -> None:
         print("  %-10s %d/%d cases pass" % (agent, sum(r.passed for r in results), len(results)))
     print("  -> the manual suite cannot tell the builds apart.\n")
 
-    soft = SOFT(replay_testcases=True)
-    total = 0
-    surfaced_tests = set()
-    for test in TESTS:
-        report = soft.run(test, "reference", "modified")
-        total += report.inconsistency_count
-        if report.inconsistency_count:
-            surfaced_tests.add(test)
-        print("SOFT %-14s %3d inconsistencies (%d replay-verified, %.1fs)"
-              % (test, report.inconsistency_count,
-                 report.verified_inconsistency_count(), report.total_time))
+    corpus_dir = tempfile.mkdtemp(prefix="soft_corpus_")
+    try:
+        # Tier 1: the symbolic hunt.  Triage runs by default; corpus_dir
+        # persists one minimized witness bundle per divergence signature.
+        print("SOFT campaign (reference vs modified) with witness triage:")
+        report = (Campaign(corpus_dir=corpus_dir)
+                  .with_tests(*TESTS)
+                  .with_agents("reference", "modified")
+                  .with_workers(4)
+                  .run())
+        for row in report.summary_rows():
+            print("  %-14s %3d inconsistencies (%d replay-verified, %.1fs)"
+                  % (row["test"], row["inconsistencies"],
+                     row["replay_verified"], row["total_time"]))
+        triage = report.triage
+        print("\n" + triage.describe())
+        print("\n%d raw inconsistencies -> %d clusters; %d bundle(s) saved to corpus"
+              % (triage.raw_witnesses, triage.cluster_count, report.corpus_saved))
 
-    print("\n%d behavioural differences reported in total.\n" % total)
-    print("Injected modifications and whether these test sequences can reach them:")
-    for mutation in MUTATIONS:
-        reachable = bool(set(mutation.surfaced_by) & surfaced_tests)
-        status = "surfaced" if reachable else (
-            "not reachable by SOFT inputs" if not mutation.detectable else "not surfaced by the selected tests")
-        print("  - %-32s %s" % (mutation.key, status))
+        # Which injected modifications did the clusters reach?
+        surfaced_tests = {c.signature.test_key for c in triage.clusters}
+        print("\nInjected modifications and whether these test sequences reach them:")
+        for mutation in MUTATIONS:
+            reachable = bool(set(mutation.surfaced_by) & surfaced_tests)
+            status = "surfaced" if reachable else (
+                "not reachable by SOFT inputs" if not mutation.detectable
+                else "not surfaced by the selected tests")
+            print("  - %-32s %s" % (mutation.key, status))
+
+        # Tier 2: the fast guard.  Replaying the corpus needs no solver and
+        # no symbolic exploration — this is what CI runs on every build.
+        print("\nSolver-free corpus replay (the per-build regression gate):")
+        run = WitnessCorpus(corpus_dir).run()
+        print("  %d witness(es) replayed in %.2fs (%.0f/s), ok=%s, 0 solver queries"
+              % (run.replayed, run.wall_time, run.witnesses_per_sec, run.ok))
+        assert run.ok, "a stored witness stopped diverging: behaviour moved again"
+    finally:
+        shutil.rmtree(corpus_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

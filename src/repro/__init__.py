@@ -49,6 +49,15 @@ from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import group_paths
 from repro.core.crosscheck import find_inconsistencies
 from repro.core.testcase import build_testcase, replay_testcase
+from repro.core.witness import (
+    DivergenceSignature,
+    TriageReport,
+    Witness,
+    WitnessCluster,
+    build_witness,
+    minimize_witness,
+)
+from repro.core.corpus import CorpusRunReport, WitnessCorpus
 from repro.core.tests_catalog import catalog, get_test
 from repro.agents import agent_registry, make_agent, register_agent
 
@@ -69,6 +78,14 @@ __all__ = [
     "find_inconsistencies",
     "build_testcase",
     "replay_testcase",
+    "Witness",
+    "WitnessCluster",
+    "DivergenceSignature",
+    "TriageReport",
+    "build_witness",
+    "minimize_witness",
+    "WitnessCorpus",
+    "CorpusRunReport",
     "catalog",
     "get_test",
     "make_agent",

@@ -12,6 +12,9 @@ commands::
                   --json out.json
     soft campaign --tests stats_request --agents reference \\
                   --artifact vendor_ovs.json
+    soft triage --tests flow_mod --agents reference,modified \\
+                --corpus corpus/   # cluster + minimize witnesses, persist them
+    soft corpus run --dir corpus/  # solver-free regression replay
     soft oftest --agent ovs         # the manual baseline suite
     soft fuzz --agent-a reference --agent-b ovs --iterations 200
 """
@@ -28,11 +31,12 @@ from repro.baselines.fuzzer import DifferentialFuzzer
 from repro.baselines.oftest import run_suite
 from repro.core.artifacts import load_exploration_artifact, save_exploration_artifact
 from repro.core.campaign import Campaign
+from repro.core.corpus import WitnessCorpus
 from repro.core.explorer import explore_agent
 from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
 from repro.core.tests_catalog import TABLE1_TESTS, VALID_SCALES, catalog, get_test
-from repro.errors import ArtifactError, CampaignError
+from repro.errors import ArtifactError, CampaignError, CorpusError, WitnessError
 from repro.symbex.strategies import strategy_names
 
 __all__ = ["main", "build_parser"]
@@ -103,12 +107,62 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-incremental", action="store_true",
                           help="crosscheck with a fresh solver per pair instead of "
                                "the shared incremental SAT engine")
+    campaign.add_argument("--no-triage", action="store_true",
+                          help="skip the witness pipeline (replay confirmation, "
+                               "minimization, clustering)")
+    campaign.add_argument("--no-minimize", action="store_true",
+                          help="triage without delta-minimization of witnesses")
     campaign.add_argument("--strategy", choices=strategy_names(), default=None,
                           help="Phase-1 frontier discipline (default: dfs)")
     campaign.add_argument("--json", metavar="FILE", dest="json_out",
                           help="write the machine-readable report to FILE ('-' = stdout)")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress the human-readable table")
+
+    triage = subparsers.add_parser(
+        "triage",
+        help="campaign + witness triage: replay-confirm, minimize and cluster "
+             "every inconsistency; optionally persist the corpus")
+    triage.add_argument("--tests", default="all",
+                        help="comma-separated test keys, or 'all' (default)")
+    triage.add_argument("--agents", default="",
+                        help="comma-separated agent names (>= 2)")
+    triage.add_argument("--pairs", default="",
+                        help="explicit a:b pairs (comma-separated) instead of all-pairs")
+    triage.add_argument("--workers", type=int, default=1,
+                        help="worker pool width for exploration and pair crosschecks")
+    triage.add_argument("--strategy", choices=strategy_names(), default=None,
+                        help="Phase-1 frontier discipline (default: dfs)")
+    triage.add_argument("--no-minimize", action="store_true",
+                        help="skip delta-minimization of witnesses")
+    triage.add_argument("--minimize-budget", type=int, default=96,
+                        help="max replay-oracle runs per witness (default 96)")
+    triage.add_argument("--corpus", metavar="DIR",
+                        help="persist confirmed cluster representatives as witness "
+                             "bundles into DIR")
+    triage.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="write the machine-readable triage report to FILE "
+                             "('-' = stdout)")
+    triage.add_argument("--quiet", action="store_true",
+                        help="suppress the human-readable table")
+
+    corpus = subparsers.add_parser(
+        "corpus", help="operate on a persistent witness corpus")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_run = corpus_sub.add_parser(
+        "run", help="replay every stored witness solver-free against the "
+                    "current agents; non-zero exit on any non-diverging witness")
+    corpus_run.add_argument("--dir", required=True, metavar="DIR",
+                            help="corpus directory of witness bundles")
+    corpus_run.add_argument("--json", metavar="FILE", dest="json_out",
+                            help="write the machine-readable run report to FILE "
+                                 "('-' = stdout)")
+    corpus_run.add_argument("--quiet", action="store_true",
+                            help="suppress the per-witness table")
+    corpus_list = corpus_sub.add_parser(
+        "list", help="list the witness bundles stored in a corpus directory")
+    corpus_list.add_argument("--dir", required=True, metavar="DIR",
+                             help="corpus directory of witness bundles")
 
     oftest = subparsers.add_parser("oftest", help="run the OFTest-style manual baseline suite")
     oftest.add_argument("--agent", required=True, choices=sorted(AGENT_REGISTRY))
@@ -183,11 +237,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    campaign = Campaign(workers=args.workers, executor=args.executor,
-                        replay_testcases=not args.no_replay,
-                        incremental=not args.no_incremental,
-                        strategy=args.strategy)
+def _configure_campaign(campaign: Campaign, args: argparse.Namespace) -> Optional[int]:
+    """Apply the shared --tests/--agents/--pairs options; exit code on error."""
+
     tests = _split_csv(args.tests) or ["all"]
     campaign.with_tests(*tests)
     agents = _split_csv(args.agents)
@@ -204,6 +256,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 return 2
             parsed.append((halves[0], halves[1]))
         campaign.with_pairs(*parsed)
+    return None
+
+
+def _write_json(rendered: str, json_out: str, quiet: bool) -> int:
+    if json_out == "-":
+        print(rendered)
+        return 0
+    try:
+        with open(json_out, "w") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+    except OSError as exc:
+        print("error: cannot write JSON report: %s" % exc, file=sys.stderr)
+        return 2
+    if not quiet:
+        print("wrote JSON report to %s" % json_out)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = Campaign(workers=args.workers, executor=args.executor,
+                        replay_testcases=not args.no_replay,
+                        incremental=not args.no_incremental,
+                        triage=not args.no_triage,
+                        minimize=not args.no_minimize,
+                        strategy=args.strategy)
+    error = _configure_campaign(campaign, args)
+    if error is not None:
+        return error
     for path in args.artifact:
         campaign.load_artifact(path)
 
@@ -215,20 +296,75 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(report.describe())
     if args.json_out:
-        rendered = report.to_json()
-        if args.json_out == "-":
-            print(rendered)
-        else:
-            try:
-                with open(args.json_out, "w") as handle:
-                    handle.write(rendered)
-                    handle.write("\n")
-            except OSError as exc:
-                print("error: cannot write JSON report: %s" % exc, file=sys.stderr)
-                return 2
-            if not args.quiet:
-                print("wrote JSON report to %s" % args.json_out)
+        return _write_json(report.to_json(), args.json_out, args.quiet)
     return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    campaign = Campaign(workers=args.workers, strategy=args.strategy,
+                        triage=True, minimize=not args.no_minimize,
+                        minimize_budget=args.minimize_budget,
+                        corpus_dir=args.corpus)
+    error = _configure_campaign(campaign, args)
+    if error is not None:
+        return error
+
+    report = campaign.run()
+    triage = report.triage
+
+    if not args.quiet:
+        print(triage.describe())
+        for cluster in triage.clusters:
+            print(cluster.describe())
+        if args.corpus:
+            print("corpus: %d new bundle(s) saved to %s"
+                  % (report.corpus_saved, args.corpus))
+    if args.json_out:
+        rendered = json_mod.dumps({
+            "format": "soft/triage-report/v1",
+            "campaign_totals": {
+                "pair_reports": report.pair_count,
+                "solver_queries": report.total_queries,
+                "inconsistencies": report.total_inconsistencies,
+                "replay_verified": report.total_replay_verified,
+                "total_time": report.total_time,
+            },
+            "triage": triage.to_dict(),
+            "corpus": ({"dir": args.corpus, "saved": report.corpus_saved}
+                       if args.corpus else None),
+        }, indent=2)
+        code = _write_json(rendered, args.json_out, args.quiet)
+        if code:
+            return code
+    return 0 if triage.unconfirmed_witnesses == 0 else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = WitnessCorpus(args.dir, create=False)
+    if args.corpus_command == "list":
+        for witness in corpus.load():
+            minimization = witness.minimization
+            print("%-60s %d var(s), %d input(s)%s"
+                  % (witness.signature.short(), witness.variable_count,
+                     witness.input_count,
+                     "" if minimization is None else
+                     " (minimized from %d)" % minimization.original_variables))
+        print("%d witness bundle(s) in %s" % (len(corpus), args.dir))
+        return 0
+
+    report = corpus.run()
+    if not args.quiet:
+        print(report.describe())
+    if args.json_out:
+        import json as json_mod
+
+        code = _write_json(json_mod.dumps(report.to_dict(), indent=2),
+                           args.json_out, args.quiet)
+        if code:
+            return code
+    return 0 if report.ok else 1
 
 
 def _cmd_oftest(args: argparse.Namespace) -> int:
@@ -275,11 +411,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "triage":
+            return _cmd_triage(args)
+        if args.command == "corpus":
+            return _cmd_corpus(args)
         if args.command == "oftest":
             return _cmd_oftest(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
-    except (ArtifactError, CampaignError) as exc:
+    except (ArtifactError, CampaignError, CorpusError, WitnessError) as exc:
         print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2
     parser.error("unknown command %r" % (args.command,))

@@ -27,7 +27,16 @@ from repro.core.tests_catalog import TestSpec, catalog, get_test
 from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import GroupedResults, group_paths
 from repro.core.crosscheck import CrosscheckReport, Inconsistency, find_inconsistencies
-from repro.core.testcase import ConcreteTestCase, replay_testcase
+from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase, replay_testcase
+from repro.core.witness import (
+    DivergenceSignature,
+    TriageReport,
+    Witness,
+    WitnessCluster,
+    build_witness,
+    minimize_witness,
+)
+from repro.core.corpus import CorpusRunReport, WitnessCorpus
 from repro.core.soft import SOFT, SoftReport
 
 __all__ = [
@@ -49,7 +58,17 @@ __all__ = [
     "Inconsistency",
     "find_inconsistencies",
     "ConcreteTestCase",
+    "ReplayOutcome",
+    "build_testcase",
     "replay_testcase",
+    "Witness",
+    "WitnessCluster",
+    "DivergenceSignature",
+    "TriageReport",
+    "build_witness",
+    "minimize_witness",
+    "WitnessCorpus",
+    "CorpusRunReport",
     "SOFT",
     "SoftReport",
 ]

@@ -24,12 +24,16 @@ import os
 from typing import Dict, List, Sequence, Union
 
 from repro.core.explorer import AgentExplorationReport
+from repro.core.witness import Witness
 from repro.errors import ArtifactError
 
 __all__ = [
     "save_exploration_artifact",
     "load_exploration_artifact",
     "load_exploration_artifacts",
+    "save_witness_bundle",
+    "load_witness_bundle",
+    "load_witness_bundles",
 ]
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -66,3 +70,41 @@ def load_exploration_artifacts(paths: Sequence[PathLike]) -> List[AgentExplorati
     """Load several artifacts, preserving order."""
 
     return [load_exploration_artifact(path) for path in paths]
+
+
+def save_witness_bundle(witness: Witness, path: PathLike,
+                        indent: int = 2) -> Dict[str, object]:
+    """Write one witness bundle (triage output) to *path* as JSON.
+
+    The bundle is the persistent-corpus exchange format: concrete inputs,
+    both expected replay traces, the divergence signature and the solver
+    model, replayable later without any solver involvement.
+    """
+
+    data = witness.to_dict()
+    try:
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=indent)
+            handle.write("\n")
+    except OSError as exc:
+        raise ArtifactError("cannot write witness bundle %s: %s" % (path, exc))
+    return data
+
+
+def load_witness_bundle(path: PathLike) -> Witness:
+    """Load one witness bundle saved by :func:`save_witness_bundle`."""
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ArtifactError("cannot read witness bundle %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise ArtifactError("witness bundle %s is not valid JSON: %s" % (path, exc))
+    return Witness.from_dict(data)
+
+
+def load_witness_bundles(paths: Sequence[PathLike]) -> List[Witness]:
+    """Load several witness bundles, preserving order."""
+
+    return [load_witness_bundle(path) for path in paths]

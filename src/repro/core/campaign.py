@@ -53,9 +53,17 @@ from repro.core.artifacts import load_exploration_artifact
 from repro.core.crosscheck import find_inconsistencies
 from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import GroupedResults, group_paths
+from repro.core.corpus import WitnessCorpus
 from repro.core.soft import SoftReport
 from repro.core.testcase import ConcreteTestCase, ReplayOutcome, build_testcase, replay_testcase
 from repro.core.tests_catalog import TABLE1_TESTS, TestSpec, get_test
+from repro.core.witness import (
+    TriageIndex,
+    TriageReport,
+    Witness,
+    build_witness,
+    minimize_witness,
+)
 from repro.errors import CampaignError
 from repro.symbex.engine import EngineConfig
 from repro.symbex.expr import intern_table
@@ -260,6 +268,13 @@ class CampaignReport:
     #: Hash-consing activity during this run (hit/miss deltas) plus the
     #: absolute size of the shared intern table and simplify memo.
     intern_stats: Dict[str, object] = dataclass_field(default_factory=dict)
+    #: Witness triage result: replay-confirmed, minimized, clustered
+    #: inconsistencies (None when ``triage=False`` or replay was disabled).
+    triage: Optional[TriageReport] = None
+    #: Where cluster representatives were persisted, and how many bundles the
+    #: run actually wrote (0 = the corpus already contained them all).
+    corpus_dir: Optional[str] = None
+    corpus_saved: int = 0
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -322,6 +337,9 @@ class CampaignReport:
             "incremental": self.incremental,
             "solver_stats": dict(self.solver_stats),
             "intern_stats": dict(self.intern_stats),
+            "triage": self.triage.to_dict() if self.triage is not None else None,
+            "corpus": ({"dir": self.corpus_dir, "saved": self.corpus_saved}
+                       if self.corpus_dir else None),
             "explorations": [dict(row) for row in self.exploration_stats],
             "totals": {
                 "pair_reports": self.pair_count,
@@ -405,6 +423,11 @@ class CampaignReport:
             "  totals: %d solver queries, %d inconsistencies (%d replay-verified), %.2fs"
             % (self.total_queries, self.total_inconsistencies,
                self.total_replay_verified, self.total_time))
+        if self.triage is not None:
+            lines.append("  " + self.triage.describe().replace("\n", "\n  "))
+        if self.corpus_dir:
+            lines.append("  corpus: %d new bundle(s) saved to %s"
+                         % (self.corpus_saved, self.corpus_dir))
         return "\n".join(lines)
 
 
@@ -429,7 +452,12 @@ class Campaign:
                  replay_testcases: bool = True,
                  incremental: bool = True,
                  strategy: Optional[str] = None,
-                 reset_intern: bool = False) -> None:
+                 reset_intern: bool = False,
+                 triage: bool = True,
+                 minimize: bool = True,
+                 minimize_budget: int = 96,
+                 corpus_dir: Optional[str] = None,
+                 agent_options: Optional[Dict[str, Dict[str, object]]] = None) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -452,6 +480,20 @@ class Campaign:
         #: caches stop hitting for new-generation terms), so use it from the
         #: one campaign object that owns the process's exploration life cycle.
         self.reset_intern = reset_intern
+        #: Run the witness pipeline (replay confirmation, delta-minimization,
+        #: signature clustering) on every pair's inconsistencies.  On by
+        #: default: triage is the campaign's actionable output layer.  It
+        #: silently skips pairs whose agents cannot be replayed (artifact-only
+        #: agents) and records them in the triage report instead.
+        self.triage = triage
+        self.minimize = minimize
+        self.minimize_budget = max(0, int(minimize_budget))
+        #: When set, confirmed cluster representatives are persisted as
+        #: witness bundles into this directory at the end of each run.
+        self.corpus_dir = corpus_dir
+        #: Per-agent keyword arguments threaded into ``make_agent`` whenever a
+        #: concrete replay instantiates an agent (triage, corpus, replays).
+        self.agent_options: Dict[str, Dict[str, object]] = dict(agent_options or {})
         self.strategy: Optional[str] = None
         if strategy is not None:
             self.with_strategy(strategy)
@@ -527,6 +569,18 @@ class Campaign:
                 "unknown search strategy %r (available: %s)"
                 % (strategy, ", ".join(sorted(STRATEGIES))))
         self.strategy = strategy
+        return self
+
+    def with_corpus(self, corpus_dir: Optional[str]) -> "Campaign":
+        """Persist confirmed cluster representatives to *corpus_dir* after runs."""
+
+        self.corpus_dir = corpus_dir
+        return self
+
+    def with_agent_options(self, agent: str, **options: object) -> "Campaign":
+        """Keyword arguments for ``make_agent(agent, ...)`` during replays."""
+
+        self.agent_options.setdefault(agent, {}).update(options)
         return self
 
     def with_workers(self, workers: int, executor: Optional[str] = None) -> "Campaign":
@@ -678,13 +732,21 @@ class Campaign:
         return len(units)
 
     def _run_pair(self, spec: TestSpec, agent_a: str, agent_b: str,
-                  exploration_shares: Optional[Dict[Tuple[str, str], int]] = None) -> SoftReport:
-        """Phase 2 for one (test, pair): crosscheck, concretize, replay.
+                  exploration_shares: Optional[Dict[Tuple[str, str], int]] = None,
+                  triage_index: Optional[TriageIndex] = None,
+                  skipped_triage: Optional[List[Tuple[str, str, str, str]]] = None,
+                  ) -> SoftReport:
+        """Phase 2 for one (test, pair): crosscheck, concretize, replay, triage.
 
         *exploration_shares* maps (agent, test key) to the number of pairs
         consuming that cached exploration; its wall time is split between
         them so that summing per-pair ``total_time`` does not multiply the
         shared Phase-1 cost.
+
+        When triage is on, every replayed inconsistency becomes a
+        :class:`~repro.core.witness.Witness`, is delta-minimized with replay
+        as the oracle, and is merged into the campaign-wide *triage_index*
+        (thread-safe; pairs run on the worker pool).
         """
 
         started = time.perf_counter()
@@ -703,6 +765,7 @@ class Campaign:
 
         testcases: List[ConcreteTestCase] = []
         replays: List[ReplayOutcome] = []
+        witnesses: List[Witness] = []
         can_replay = (self.replay_testcases
                       and agent_a in AGENT_REGISTRY and agent_b in AGENT_REGISTRY)
         if self.build_testcases:
@@ -710,7 +773,33 @@ class Campaign:
                 testcase = build_testcase(spec, inconsistency.example, inconsistency)
                 testcases.append(testcase)
                 if can_replay:
-                    replays.append(replay_testcase(testcase, agent_a, agent_b))
+                    replays.append(replay_testcase(
+                        testcase, agent_a, agent_b,
+                        agent_options=self.agent_options))
+
+        if triage_index is not None:
+            if can_replay and self.build_testcases:
+                def replayer(candidate: ConcreteTestCase) -> ReplayOutcome:
+                    return replay_testcase(candidate, agent_a, agent_b,
+                                           agent_options=self.agent_options)
+
+                for inconsistency, testcase, replay in zip(
+                        crosscheck.inconsistencies, testcases, replays):
+                    witness = build_witness(spec, inconsistency, testcase, replay)
+                    if self.minimize and witness.confirmed:
+                        witness = minimize_witness(
+                            witness, spec, replayer,
+                            max_replays=self.minimize_budget)
+                    witnesses.append(witness)
+                    triage_index.add(witness)
+            elif crosscheck.inconsistencies and skipped_triage is not None:
+                if not self.build_testcases:
+                    reason = "testcase generation disabled"
+                elif not self.replay_testcases:
+                    reason = "replay disabled"
+                else:
+                    reason = "agent(s) not replayable"
+                skipped_triage.append((spec.key, agent_a, agent_b, reason))
 
         return SoftReport(
             test_key=spec.key,
@@ -723,6 +812,7 @@ class Campaign:
             crosscheck=crosscheck,
             testcases=testcases,
             replays=replays,
+            witnesses=witnesses,
             total_time=(time.perf_counter() - started
                         + entry_a.wall_time / shares_a
                         + entry_b.wall_time / shares_b),
@@ -732,6 +822,11 @@ class Campaign:
         """Execute the whole campaign and return the aggregated report."""
 
         started = time.perf_counter()
+        if self.corpus_dir and not self.triage:
+            raise CampaignError(
+                "corpus_dir=%r requires triage: the corpus stores triage's "
+                "cluster representatives (enable triage or drop corpus_dir)"
+                % (self.corpus_dir,))
         if self.reset_intern:
             # New intern generation: release the previous scale's terms.
             # Everything that pins old-generation terms must go with it — the
@@ -767,13 +862,33 @@ class Campaign:
             for agent in (agent_a, agent_b):
                 key = (agent, spec.key)
                 shares[key] = shares.get(key, 0) + 1
+        triage_index = TriageIndex() if self.triage else None
+        skipped_triage: List[Tuple[str, str, str, str]] = []
         if self.workers > 1 and len(jobs) > 1:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [pool.submit(self._run_pair, *job, exploration_shares=shares)
+                futures = [pool.submit(self._run_pair, *job, exploration_shares=shares,
+                                       triage_index=triage_index,
+                                       skipped_triage=skipped_triage)
                            for job in jobs]
                 reports = [future.result() for future in futures]
         else:
-            reports = [self._run_pair(*job, exploration_shares=shares) for job in jobs]
+            reports = [self._run_pair(*job, exploration_shares=shares,
+                                      triage_index=triage_index,
+                                      skipped_triage=skipped_triage)
+                       for job in jobs]
+
+        triage_report: Optional[TriageReport] = None
+        corpus_saved = 0
+        if triage_index is not None:
+            triage_time = sum(
+                witness.minimization.wall_time
+                for report in reports for witness in report.witnesses
+                if witness.minimization is not None)
+            triage_report = triage_index.report(triage_time=triage_time,
+                                                skipped_pairs=skipped_triage)
+            if self.corpus_dir:
+                corpus_saved = WitnessCorpus(self.corpus_dir).add_clusters(
+                    triage_report.clusters)
 
         if self.incremental:
             # Report per-run deltas: engines and their counters persist on
@@ -837,4 +952,7 @@ class Campaign:
             solver_stats=solver_stats,
             exploration_stats=exploration_stats,
             intern_stats=intern_stats,
+            triage=triage_report,
+            corpus_dir=self.corpus_dir,
+            corpus_saved=corpus_saved,
         )

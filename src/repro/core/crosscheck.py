@@ -51,6 +51,16 @@ class Inconsistency:
     example: Dict[str, int] = field(default_factory=dict)
     solver_time: float = 0.0
 
+    def diff(self):
+        """First divergence between the two *symbolic* output traces.
+
+        This is the pre-replay view of the divergence; the witness pipeline
+        recomputes the signature from the concrete replay traces, which is
+        what actually happened rather than what the solver predicted.
+        """
+
+        return self.trace_a.diff(self.trace_b)
+
     def describe(self) -> str:
         lines = [
             "inconsistency between %s and %s" % (self.agent_a, self.agent_b),
@@ -58,6 +68,7 @@ class Inconsistency:
             "  " + self.trace_a.short(limit=5),
             "  %s output:" % self.agent_b,
             "  " + self.trace_b.short(limit=5),
+            "  " + self.diff().describe(),
             "  example input: %s" % _render_example(self.example),
         ]
         return "\n".join(lines)

@@ -18,6 +18,7 @@ from repro.core.explorer import AgentExplorationReport, explore_agent
 from repro.core.grouping import GroupedResults, group_paths
 from repro.core.testcase import ConcreteTestCase, ReplayOutcome
 from repro.core.tests_catalog import TestSpec
+from repro.core.witness import Witness
 from repro.symbex.engine import EngineConfig
 from repro.symbex.solver import GroupEncoding, Solver, SolverConfig
 
@@ -38,6 +39,9 @@ class SoftReport:
     crosscheck: CrosscheckReport
     testcases: List[ConcreteTestCase] = field(default_factory=list)
     replays: List[ReplayOutcome] = field(default_factory=list)
+    #: Structured (replay-confirmed, possibly minimized) witnesses — one per
+    #: inconsistency when the pair went through triage, empty otherwise.
+    witnesses: List[Witness] = field(default_factory=list)
     total_time: float = 0.0
 
     @property
@@ -100,13 +104,15 @@ class SOFT:
                  with_coverage: bool = False,
                  build_testcases: bool = True,
                  replay_testcases: bool = True,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 triage: bool = True) -> None:
         self.engine_config = engine_config
         self.solver_config = solver_config
         self.with_coverage = with_coverage
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
         self.incremental = incremental
+        self.triage = triage
 
     # ------------------------------------------------------------------
     # Individual phases
@@ -153,6 +159,7 @@ class SOFT:
             build_testcases=self.build_testcases,
             replay_testcases=self.replay_testcases,
             incremental=self.incremental,
+            triage=self.triage,
         )
 
     def run(self, test: Union[str, TestSpec], agent_a: str, agent_b: str) -> SoftReport:

@@ -11,7 +11,7 @@ cheaply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.events import Event
 from repro.openflow import constants as c
@@ -29,7 +29,8 @@ from repro.openflow.messages import (
 )
 from repro.wire.fields import field_repr
 
-__all__ = ["OutputTrace", "normalize_message", "normalize_events"]
+__all__ = ["OutputTrace", "TraceDiff", "event_kind", "render_kind",
+           "normalize_message", "normalize_events"]
 
 
 def _deep_tuple(value):
@@ -89,6 +90,67 @@ def normalize_events(events: Iterable[Event]) -> Tuple[Tuple, ...]:
     return tuple(event.normalized() for event in events)
 
 
+def event_kind(item: Optional[Tuple]) -> Optional[Tuple]:
+    """Collapse one normalized trace event into its stable *kind*.
+
+    The kind is the clustering granularity of the witness triage stage: it
+    keeps what distinguishes root causes (the event class; for controller
+    messages the message tag, and for errors the type/code pair) and drops
+    everything volatile under input truncation and model minimization (input
+    indices, ports, payload lengths, frame summaries).  ``None`` stands for
+    "the trace ended here".
+    """
+
+    if item is None:
+        return None
+    tag = item[0]
+    if tag == "ctrl_msg" and len(item) >= 3 and isinstance(item[2], (tuple, list)):
+        message = item[2]
+        if message and message[0] == "ERROR" and len(message) >= 3:
+            return ("ctrl_msg", "ERROR", str(message[1]), str(message[2]))
+        return ("ctrl_msg", str(message[0]) if message else "?")
+    return (str(tag),)
+
+
+def render_kind(kind: Optional[Tuple]) -> str:
+    """Human rendering of an event kind; ``None`` (trace ended) -> ``(end)``."""
+
+    return "/".join(str(part) for part in kind) if kind else "(end)"
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The first point of divergence between two normalized traces (§3.5).
+
+    ``index`` is the position of the first differing event (``-1`` when the
+    traces are identical); ``kind_a``/``kind_b`` are the :func:`event_kind`
+    of each side's event at that position (``None`` for a trace that already
+    ended).  The (index, kind_a, kind_b) triple is the divergence signature
+    the triage stage clusters witnesses by.
+    """
+
+    index: int
+    kind_a: Optional[Tuple]
+    kind_b: Optional[Tuple]
+    len_a: int
+    len_b: int
+
+    @property
+    def diverged(self) -> bool:
+        return self.index >= 0
+
+    def signature(self) -> Tuple:
+        """The hashable clustering key derived from this diff."""
+
+        return (self.index, self.kind_a, self.kind_b)
+
+    def describe(self) -> str:
+        if not self.diverged:
+            return "traces identical (%d event(s))" % self.len_a
+        return "diverge at event %d: %s != %s" % (
+            self.index, render_kind(self.kind_a), render_kind(self.kind_b))
+
+
 @dataclass(frozen=True)
 class OutputTrace:
     """A normalized, hashable output trace."""
@@ -127,6 +189,38 @@ class OutputTrace:
         """Rebuild a trace from :meth:`to_obj` output; hash/equality round-trip."""
 
         return cls(items=_deep_tuple(obj))
+
+    def diff(self, other: "OutputTrace") -> TraceDiff:
+        """Locate the first divergent event between this trace and *other*.
+
+        Comparison is positional over the already-normalized event tuples
+        (xids, buffer ids and payload bytes were removed at normalization
+        time); the reported kinds additionally drop per-run volatile fields
+        via :func:`event_kind` so the result is stable under minimization.
+        """
+
+        limit = min(len(self.items), len(other.items))
+        for index in range(limit):
+            if self.items[index] != other.items[index]:
+                return TraceDiff(
+                    index=index,
+                    kind_a=event_kind(self.items[index]),
+                    kind_b=event_kind(other.items[index]),
+                    len_a=len(self.items),
+                    len_b=len(other.items),
+                )
+        if len(self.items) != len(other.items):
+            longer_a = len(self.items) > limit
+            item = self.items[limit] if longer_a else other.items[limit]
+            return TraceDiff(
+                index=limit,
+                kind_a=event_kind(item) if longer_a else None,
+                kind_b=None if longer_a else event_kind(item),
+                len_a=len(self.items),
+                len_b=len(other.items),
+            )
+        return TraceDiff(index=-1, kind_a=None, kind_b=None,
+                         len_a=len(self.items), len_b=len(other.items))
 
     def describe(self) -> str:
         """Multi-line human readable rendering for reports."""

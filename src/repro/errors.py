@@ -145,3 +145,11 @@ class ArtifactError(PipelineError):
 
 class CampaignError(PipelineError):
     """A campaign was configured inconsistently (agents, tests or pairs)."""
+
+
+class WitnessError(PipelineError):
+    """A witness could not be built, minimized or round-tripped."""
+
+
+class CorpusError(PipelineError):
+    """A persistent witness corpus could not be read, written or replayed."""

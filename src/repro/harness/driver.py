@@ -122,6 +122,10 @@ class ConcreteRunResult:
     trace: OutputTrace = field(default_factory=lambda: OutputTrace(items=()))
     crashed: bool = False
     wall_time: float = 0.0
+    #: How many of the supplied inputs the agent actually processed before it
+    #: stopped (a crashed agent ignores the rest).  Witness minimization uses
+    #: this as a free upper bound when dropping trailing inputs.
+    inputs_consumed: int = 0
 
 
 def run_concrete_sequence(agent: OpenFlowAgent,
@@ -144,9 +148,11 @@ def run_concrete_sequence(agent: OpenFlowAgent,
         except AgentCrash as crash:
             ctx.crash(crash.reason)
 
+    consumed = 0
     for index, (kind, payload) in enumerate(inputs):
         if agent.crashed:
             break
+        consumed += 1
         ctx.set_input_index(index)
         try:
             if kind == "control":
@@ -168,4 +174,5 @@ def run_concrete_sequence(agent: OpenFlowAgent,
         trace=OutputTrace.from_events(ctx.events),
         crashed=agent.crashed,
         wall_time=time.perf_counter() - started,
+        inputs_consumed=consumed,
     )

@@ -43,7 +43,8 @@ from repro.symbex.expr import (
     Expr,
 )
 
-__all__ = ["expr_to_obj", "expr_from_obj", "bool_expr_from_obj", "bv_expr_from_obj"]
+__all__ = ["expr_to_obj", "expr_from_obj", "bool_expr_from_obj", "bv_expr_from_obj",
+           "model_to_obj", "model_from_obj"]
 
 #: The JSON-safe rendering of an expression: nested lists of str/int.
 ExprObj = List[Any]
@@ -123,6 +124,34 @@ def expr_from_obj(obj: Union[ExprObj, tuple]) -> Expr:
     except (IndexError, ValueError, TypeError) as exc:
         raise ExpressionError("malformed serialized %s node: %r (%s)" % (tag, obj, exc))
     raise ExpressionError("unknown serialized expression tag %r" % (tag,))
+
+
+def model_to_obj(model: "dict") -> "dict":
+    """JSON-safe rendering of a solver model / assignment (name -> int).
+
+    Witness bundles and exploration artifacts carry these next to serialized
+    expressions; the explicit coercion catches non-scalar values early rather
+    than at json.dump time.
+    """
+
+    rendered = {}
+    for name, value in model.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ExpressionError(
+                "model value for %r must be an int, got %r" % (name, value))
+        rendered[str(name)] = int(value)
+    return rendered
+
+
+def model_from_obj(obj: "dict") -> "dict":
+    """Rebuild an assignment serialized with :func:`model_to_obj`."""
+
+    if not isinstance(obj, dict):
+        raise ExpressionError("serialized model must be an object, got %r" % (obj,))
+    try:
+        return {str(name): int(value) for name, value in obj.items()}
+    except (TypeError, ValueError) as exc:
+        raise ExpressionError("malformed serialized model: %s" % (exc,))
 
 
 def bool_expr_from_obj(obj: Union[ExprObj, tuple]) -> BoolExpr:
