@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The planted rare-constant experiment: why hybrid hunting exists.
+
+Two switch builds behave identically except for one planted bug: the buggy
+build silently swallows a PACKET_OUT whose output action targets exactly
+``OFPP_CONTROLLER`` (0xFFFD).  A random fuzzer has a 2^-16 chance per draw
+of hitting that constant in the 16-bit port field — at a few-second budget
+it essentially never does.  The hybrid hunt's concolic stage replays one
+fuzzed input *symbolically*, sees the untaken ``port == OFPP_CONTROLLER``
+branch in its path condition, and asks the solver for an input that flips
+it: one query, bug found.
+
+The script runs both hunts at the same wall-clock budget and prints the
+score.  Then it does the same on the real seed catalog (reference vs
+modified) with all four stages enabled.
+
+    python examples/hybrid_hunt.py
+"""
+
+from repro.agents.reference.agent import ReferenceSwitch
+from repro.core.tests_catalog import TestSpec
+from repro.harness.inputs import ControlMessageInput
+from repro.hybrid import HybridConfig, HybridHunt
+from repro.openflow import constants as c
+from repro.openflow.actions import ActionOutput
+from repro.openflow.messages import PacketOut
+from repro.packetlib.builder import build_tcp_packet
+
+BUDGET = 6.0
+
+
+class PlantedReference(ReferenceSwitch):
+    NAME = "planted-ref"
+
+
+class PlantedBuggy(ReferenceSwitch):
+    """Reference switch plus one planted bug: controller output is dropped."""
+
+    NAME = "planted-buggy"
+
+    def handle_packet_out(self, buf, header):
+        if len(buf) >= c.OFP_PACKET_OUT_LEN:
+            _, _, actions, _ = self.parse_packet_out_fields(buf)
+            for action in actions:
+                if (isinstance(action, ActionOutput)
+                        and action.port == c.OFPP_CONTROLLER):
+                    return  # the planted bug
+        super().handle_packet_out(buf, header)
+
+
+def _build_planted_packet_out(state):
+    out_port = state.new_symbol("pb.out_port", 16)
+    message = PacketOut(
+        xid=1, buffer_id=c.OFP_NO_BUFFER, in_port=c.OFPP_NONE,
+        actions=[ActionOutput(port=out_port, max_len=128)],
+        data=build_tcp_packet(tp_src=1234, tp_dst=80).to_bytes(),
+    )
+    return message.pack()
+
+
+PLANTED_SPEC = TestSpec(
+    key="planted_rare_port",
+    title="Planted rare-constant PACKET_OUT",
+    description="Diverges only when the 16-bit port equals OFPP_CONTROLLER.",
+    inputs=[ControlMessageInput("planted_packet_out", _build_planted_packet_out)],
+    message_count=1,
+)
+
+
+def hunt(stages):
+    config = HybridConfig(
+        budget=BUDGET, slice_time=0.5, seed=7, stages=stages,
+        coverage_packages=("repro.agents.common", "repro.agents.reference"))
+    return HybridHunt(PLANTED_SPEC, PlantedReference, PlantedBuggy,
+                      config=config).run()
+
+
+def main() -> None:
+    print("Planted bug: divergence only at port == OFPP_CONTROLLER (0xFFFD)")
+    print("Budget per hunt: %.0fs\n" % BUDGET)
+
+    fuzz_only = hunt(("fuzz",))
+    print("fuzz only:    %d cluster(s) after %d random inputs"
+          % (fuzz_only.cluster_count,
+             fuzz_only.stats.stages["fuzz"].inputs_run))
+
+    hybrid = hunt(("fuzz", "concolic"))
+    print("fuzz+concolic: %d cluster(s); rare constant recovered by flips: %s"
+          % (hybrid.cluster_count,
+             any(w.assignment.get("pb.out_port") == c.OFPP_CONTROLLER
+                 for w in hybrid.witnesses)))
+    print()
+    print(hybrid.describe())
+
+    print("\nFull roster on the seed catalog (reference vs modified):")
+    report = HybridHunt("packet_out", "reference", "modified",
+                        config=HybridConfig(budget=BUDGET, seed=7)).run()
+    print(report.describe())
+
+
+if __name__ == "__main__":
+    main()

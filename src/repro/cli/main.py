@@ -37,6 +37,7 @@ from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
 from repro.core.tests_catalog import TABLE1_TESTS, VALID_SCALES, catalog, get_test
 from repro.errors import ArtifactError, CampaignError, CorpusError, WitnessError
+from repro.hybrid.scheduler import ALL_STAGES, HybridConfig, HybridHunt
 from repro.symbex.strategies import strategy_names
 
 __all__ = ["main", "build_parser"]
@@ -171,7 +172,34 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--agent-a", default="reference", choices=sorted(AGENT_REGISTRY))
     fuzz.add_argument("--agent-b", default="ovs", choices=sorted(AGENT_REGISTRY))
     fuzz.add_argument("--iterations", type=int, default=100)
-    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="RNG seed; the same seed replays the same campaign")
+
+    hunt = subparsers.add_parser(
+        "hunt",
+        help="hybrid concolic hunt: budgeted fuzz/concolic/symbex/replay "
+             "scheduler over one agent pair")
+    hunt.add_argument("--test", required=True, choices=TABLE1_TESTS)
+    hunt.add_argument("--agent-a", default="reference", choices=sorted(AGENT_REGISTRY))
+    hunt.add_argument("--agent-b", default="ovs", choices=sorted(AGENT_REGISTRY))
+    hunt.add_argument("--budget", type=float, default=10.0,
+                      help="global wall-clock budget in seconds (default 10)")
+    hunt.add_argument("--slice", type=float, default=0.5, dest="slice_time",
+                      help="target scheduler slice length in seconds (default 0.5)")
+    hunt.add_argument("--seed", type=int, default=0,
+                      help="RNG seed; one seed reproduces the whole hunt")
+    hunt.add_argument("--stages", default=",".join(ALL_STAGES),
+                      help="comma-separated stage subset (default: %s); e.g. "
+                           "--stages fuzz for the pure-fuzz baseline" % ",".join(ALL_STAGES))
+    hunt.add_argument("--no-minimize", action="store_true",
+                      help="skip delta-minimization of witnesses")
+    hunt.add_argument("--corpus", metavar="DIR",
+                      help="load historical witnesses from DIR and persist new "
+                           "confirmed clusters back into it")
+    hunt.add_argument("--json", metavar="FILE", dest="json_out",
+                      help="write the machine-readable hunt report to FILE ('-' = stdout)")
+    hunt.add_argument("--quiet", action="store_true",
+                      help="suppress the human-readable summary")
 
     return parser
 
@@ -390,6 +418,25 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    stages = tuple(_split_csv(args.stages)) or ALL_STAGES
+    config = HybridConfig(budget=args.budget, slice_time=args.slice_time,
+                          seed=args.seed, stages=stages,
+                          minimize=not args.no_minimize,
+                          corpus_dir=args.corpus)
+    report = HybridHunt(args.test, args.agent_a, args.agent_b, config=config).run()
+    if not args.quiet:
+        print(report.describe())
+    if args.json_out:
+        code = _write_json(json_mod.dumps(report.to_dict(), indent=2),
+                           args.json_out, args.quiet)
+        if code:
+            return code
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
 
@@ -419,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_oftest(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "hunt":
+            return _cmd_hunt(args)
     except (ArtifactError, CampaignError, CorpusError, WitnessError) as exc:
         print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2

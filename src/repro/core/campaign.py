@@ -275,6 +275,10 @@ class CampaignReport:
     #: run actually wrote (0 = the corpus already contained them all).
     corpus_dir: Optional[str] = None
     corpus_saved: int = 0
+    #: Hybrid-mode hunt reports, one per (test, pair); empty in exhaustive
+    #: mode.  When non-empty, ``reports`` is empty and the exploration
+    #: counters are zero — the hunts carry the per-pair detail instead.
+    hunts: List["HuntReport"] = dataclass_field(default_factory=list)
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -341,6 +345,7 @@ class CampaignReport:
             "corpus": ({"dir": self.corpus_dir, "saved": self.corpus_saved}
                        if self.corpus_dir else None),
             "explorations": [dict(row) for row in self.exploration_stats],
+            "hunts": [hunt.to_dict() for hunt in self.hunts],
             "totals": {
                 "pair_reports": self.pair_count,
                 "solver_queries": self.total_queries,
@@ -403,6 +408,14 @@ class CampaignReport:
             lines.append(
                 "  warning: loaded artifact(s) for %s matched no pair and were unused"
                 % ", ".join(self.unused_loaded_agents))
+        for hunt in self.hunts:
+            lines.append(
+                "  hunt %-14s %-24s %3d witness(es) -> %d cluster(s), "
+                "%d slice(s), %.2fs"
+                % (hunt.test_key,
+                   "%s vs %s" % (hunt.agent_a, hunt.agent_b),
+                   len(hunt.witnesses), hunt.cluster_count,
+                   hunt.stats.slices, hunt.stats.wall_time))
         lines.append(
             "  %-14s %-24s %9s %9s %8s %7s %9s %8s"
             % ("TEST", "PAIR", "PATHS", "OUTPUTS", "QUERIES", "INCONS", "VERIFIED", "TIME"))
@@ -457,7 +470,8 @@ class Campaign:
                  minimize: bool = True,
                  minimize_budget: int = 96,
                  corpus_dir: Optional[str] = None,
-                 agent_options: Optional[Dict[str, Dict[str, object]]] = None) -> None:
+                 agent_options: Optional[Dict[str, Dict[str, object]]] = None,
+                 hybrid: Optional["HybridConfig"] = None) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -494,6 +508,11 @@ class Campaign:
         #: Per-agent keyword arguments threaded into ``make_agent`` whenever a
         #: concrete replay instantiates an agent (triage, corpus, replays).
         self.agent_options: Dict[str, Dict[str, object]] = dict(agent_options or {})
+        #: When set, :meth:`run` runs one budgeted hybrid hunt
+        #: (:class:`repro.hybrid.HybridHunt`) per (test, pair) instead of the
+        #: one-shot exhaustive pipeline; the budget applies per hunt.  All
+        #: hunt witnesses still merge into the campaign-wide triage/corpus.
+        self.hybrid = hybrid
         self.strategy: Optional[str] = None
         if strategy is not None:
             self.with_strategy(strategy)
@@ -575,6 +594,21 @@ class Campaign:
         """Persist confirmed cluster representatives to *corpus_dir* after runs."""
 
         self.corpus_dir = corpus_dir
+        return self
+
+    def with_hybrid(self, config: Optional["HybridConfig"] = None,
+                    **knobs: object) -> "Campaign":
+        """Switch :meth:`run` to budgeted hybrid hunts per (test, pair).
+
+        Pass a pre-built :class:`repro.hybrid.HybridConfig`, or keyword knobs
+        (``budget=5.0, stages=("fuzz", "concolic")``) to build one.
+        """
+
+        from repro.hybrid.scheduler import HybridConfig
+
+        if config is not None and knobs:
+            raise CampaignError("pass either a HybridConfig or knobs, not both")
+        self.hybrid = config if config is not None else HybridConfig(**knobs)
         return self
 
     def with_agent_options(self, agent: str, **options: object) -> "Campaign":
@@ -851,6 +885,9 @@ class Campaign:
                          if any(agent in pair for pair in pairs)]
         self._validate_agents(specs, paired_agents)
 
+        if self.hybrid is not None:
+            return self._run_hybrid(started, specs, pairs, paired_agents)
+
         loaded_before = self.cache.loaded_count
         hits_before = self.cache.hits
         encoding_stats_before = self.encodings.aggregated()
@@ -955,4 +992,68 @@ class Campaign:
             triage=triage_report,
             corpus_dir=self.corpus_dir,
             corpus_saved=corpus_saved,
+        )
+
+    # ------------------------------------------------------------------
+    # Hybrid mode
+    # ------------------------------------------------------------------
+
+    def _run_hybrid(self, started: float, specs: Sequence[TestSpec],
+                    pairs: Sequence[Pair],
+                    paired_agents: Sequence[str]) -> CampaignReport:
+        """One budgeted :class:`HybridHunt` per (test, pair).
+
+        Each hunt keeps its own seed pool, engines and stage scheduler; the
+        witnesses of every hunt merge into one campaign-wide triage index so
+        clustering (and the optional corpus) spans the whole matrix, exactly
+        as in the exhaustive mode.
+        """
+
+        import dataclasses
+
+        from repro.hybrid.scheduler import HybridHunt
+
+        # Hunts persist through the campaign corpus below, not individually —
+        # per-hunt saves would race and double-write under the worker pool.
+        hunt_config = dataclasses.replace(self.hybrid, corpus_dir=None)
+        jobs = [(spec, agent_a, agent_b)
+                for spec in specs for agent_a, agent_b in pairs]
+
+        def run_job(job):
+            spec, agent_a, agent_b = job
+            hunt = HybridHunt(spec, agent_a, agent_b, config=hunt_config)
+            return hunt.run()
+
+        if self.workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                hunts = list(pool.map(run_job, jobs))
+        else:
+            hunts = [run_job(job) for job in jobs]
+
+        triage_index = TriageIndex()
+        for hunt in hunts:
+            triage_index.add_all(hunt.witnesses)
+        triage_report = triage_index.report(
+            triage_time=sum(hunt.stats.wall_time for hunt in hunts))
+        corpus_saved = 0
+        if self.corpus_dir:
+            corpus_saved = WitnessCorpus(self.corpus_dir).add_clusters(
+                triage_report.clusters)
+
+        return CampaignReport(
+            tests=[spec.key for spec in specs],
+            agents=list(self._agents),
+            pairs=list(pairs),
+            reports=[],
+            explorations_run=0,
+            explorations_loaded=0,
+            cache_hits=0,
+            workers=self.workers,
+            total_time=time.perf_counter() - started,
+            incremental=False,
+            solver_stats={"mode": "hybrid"},
+            triage=triage_report,
+            corpus_dir=self.corpus_dir,
+            corpus_saved=corpus_saved,
+            hunts=hunts,
         )

@@ -21,9 +21,15 @@ import importlib
 import pkgutil
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
-__all__ = ["CoverageTracker", "CoverageReport", "executable_lines", "branch_lines"]
+__all__ = ["CoverageTracker", "CoverageReport", "CoverageFingerprint",
+           "executable_lines", "branch_lines"]
+
+#: A coverage fingerprint: the frozen set of covered units.  Line units are
+#: ``(path, line)`` pairs, arc units are ``(path, src, dst)`` triples — the
+#: arity disambiguates them, so one flat set holds both.
+CoverageFingerprint = FrozenSet[tuple]
 
 
 def _module_files(package_names: Iterable[str]) -> Dict[str, str]:
@@ -203,6 +209,39 @@ class CoverageTracker:
             self.executed.setdefault(path, set()).update(lines)
         for path, arcs in other.arcs.items():
             self.arcs.setdefault(path, set()).update(arcs)
+
+    def fingerprint(self) -> CoverageFingerprint:
+        """A cheap, hashable identity of everything covered so far.
+
+        The fingerprint is the frozen set of covered units — ``(path, line)``
+        for executed lines plus ``(path, src, dst)`` for executed arcs — so
+        two trackers cover the same behaviour iff their fingerprints are
+        equal, and set difference measures novelty directly.  The hybrid seed
+        pool keys seeds on this instead of diffing full reports.
+        """
+
+        units: Set[tuple] = set()
+        for path, lines in self.executed.items():
+            for line in lines:
+                units.add((path, line))
+        for path, arcs in self.arcs.items():
+            for src, dst in arcs:
+                units.add((path, src, dst))
+        return frozenset(units)
+
+    def novel_vs(self, other: Union["CoverageTracker", CoverageFingerprint, None]
+                 ) -> int:
+        """Count of covered units this tracker has that *other* lacks.
+
+        *other* may be another tracker, a fingerprint (frozen set) from
+        :meth:`fingerprint`, or ``None`` (everything is novel).
+        """
+
+        mine = self.fingerprint()
+        if other is None:
+            return len(mine)
+        baseline = other.fingerprint() if isinstance(other, CoverageTracker) else other
+        return len(mine - baseline)
 
     def report(self, modules: Optional[Iterable[str]] = None) -> CoverageReport:
         """Aggregate coverage, optionally restricted to module-name prefixes."""

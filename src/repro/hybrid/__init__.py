@@ -1,0 +1,33 @@
+"""Hybrid concolic hunting: budgeted fuzz/symbex/replay crosschecking.
+
+The hybrid subsystem closes the loop between the cheap concrete baselines
+and the symbolic stack (the Driller recipe applied to SOFT's differential
+setting): random fuzzing buys breadth, concolic execution flips exactly the
+branches fuzzing cannot hit, sliced symbolic exploration keeps enumerating
+paths, and corpus replay recycles every historical witness — all under one
+wall-clock budget, scheduled by marginal value per second.
+
+Entry points: :class:`HybridHunt` (one pair, one test),
+``Campaign(hybrid=...)`` (the whole catalog) and the ``soft hunt`` CLI verb.
+"""
+
+from repro.hybrid.scheduler import (
+    HuntReport,
+    HybridConfig,
+    HybridHunt,
+    HybridStats,
+    StageStats,
+    discover_symbols,
+)
+from repro.hybrid.seeds import Seed, SeedPool
+
+__all__ = [
+    "HybridConfig",
+    "HybridHunt",
+    "HybridStats",
+    "HuntReport",
+    "StageStats",
+    "Seed",
+    "SeedPool",
+    "discover_symbols",
+]

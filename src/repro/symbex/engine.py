@@ -218,6 +218,44 @@ class ExplorationResult:
         return [p for p in self.paths if p.ok]
 
     @property
+    def exhausted(self) -> bool:
+        """True when nothing is left to explore (empty frontier)."""
+
+        return not self.frontier
+
+    def resume(self, engine: "Engine", program: Callable[[PathState], Any], *,
+               budget: Optional["PathBudget"] = None,
+               deadline: Optional[float] = None) -> "ExplorationResult":
+        """Continue a truncated exploration from its handed-back frontier.
+
+        A budget-truncated :meth:`Engine.explore` returns the unexplored
+        prefixes in :attr:`frontier`; ``resume`` seeds a new exploration with
+        exactly those prefixes (``initial_frontier=self.frontier``) and merges
+        the continuation into this result — path ids renumbered, stats and
+        solver counters summed, the *new* leftover frontier handed back again.
+        Because every prefix is self-contained (re-execution replays it from
+        scratch), slicing one exploration into N resumed slices reaches the
+        same path set as a single uninterrupted run; the regression test in
+        ``tests/test_symbex_engine.py`` pins this down.  The hybrid
+        scheduler's symbex stage leans on it: each time slice resumes where
+        the previous one stopped instead of re-exploring from the root.
+
+        When the frontier is already empty the result is returned unchanged.
+        *engine* may be the engine that produced this result or a fresh one
+        (solver/oracle state is reusable across slices by design).
+        """
+
+        if not self.frontier:
+            return self
+        continuation = engine.explore(program, initial_frontier=self.frontier,
+                                      budget=budget, deadline=deadline)
+        return _merge_results(
+            [self, continuation], leftover=[],
+            wall_time=self.stats.wall_time + continuation.stats.wall_time,
+            workers=max(self.stats.workers, continuation.stats.workers),
+            strategy_name=self.stats.strategy)
+
+    @property
     def path_count(self) -> int:
         return len(self.paths)
 
