@@ -10,7 +10,9 @@ Compares freshly generated benchmark JSONs in CURRENT_DIR (default ``.``)
 against the committed ones saved in BASELINE_DIR, on the higher-is-better
 metrics below, and exits non-zero when any metric dropped by more than
 ``threshold`` (default 20%).  Missing baseline files or keys are skipped
-with a note, so the guard bootstraps cleanly when a new benchmark lands.
+with a note, so the guard bootstraps cleanly when a new benchmark lands;
+a metric present in the baseline but absent from the current run (renamed
+or retired key) is likewise skipped rather than failed.
 
 Caveat: several metrics are absolute throughputs measured on the machine
 that committed the baseline, so a materially slower CI runner can trip the
@@ -83,8 +85,11 @@ def main(argv=None) -> int:
             rows.append((label, "-", current, "skipped (no baseline)"))
             continue
         if current is None or not isinstance(current, (int, float)):
-            failures.append("%s: missing from current %s" % (label, filename))
-            rows.append((label, baseline, "-", "MISSING"))
+            # A metric present in the committed baseline but absent from the
+            # fresh run means the current bench revision no longer emits it
+            # (renamed or retired key) — skip it rather than failing, the same
+            # way a missing baseline bootstraps cleanly in the other direction.
+            rows.append((label, baseline, "-", "skipped (absent from current run)"))
             continue
         ratio = current / baseline
         status = "ok (%.2fx)" % ratio

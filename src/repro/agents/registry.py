@@ -14,8 +14,10 @@ decorators run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import AgentRegistrationError
 
 __all__ = [
     "AgentInfo",
@@ -53,6 +55,10 @@ class AgentInfo:
     description: str = ""
     vendor: str = ""
     tags: Tuple[str, ...] = ()
+    #: Symbex-compatibility lint findings recorded at registration time
+    #: (``"path:line: message"`` strings); non-empty means the symbolic
+    #: engine may not be able to model this agent faithfully.
+    lint_findings: Tuple[str, ...] = field(default=())
 
     def summary_row(self) -> Dict[str, object]:
         return {
@@ -60,6 +66,7 @@ class AgentInfo:
             "description": self.description,
             "vendor": self.vendor,
             "tags": list(self.tags),
+            "lint_findings": list(self.lint_findings),
         }
 
 
@@ -70,27 +77,66 @@ _INFO: Dict[str, AgentInfo] = {}
 
 
 def register_agent(name: Optional[str] = None, *, description: Optional[str] = None,
-                   vendor: str = "", tags: Tuple[str, ...] = ()) -> Callable[[Type], Type]:
+                   vendor: str = "", tags: Tuple[str, ...] = (),
+                   replace: bool = False, validate: bool = True,
+                   strict: bool = False) -> Callable[[Type], Type]:
     """Class decorator registering an agent implementation.
 
     ``name`` defaults to the class's ``NAME`` attribute; ``description``
-    defaults to the first docstring line.  Registering a second agent under an
-    existing name replaces the previous entry (deliberate, so tests can
-    install instrumented stand-ins).
+    defaults to the first docstring line.  Names are unique: re-registering
+    an existing name is rejected unless ``replace=True`` (the knob tests use
+    to install instrumented stand-ins).
+
+    With ``validate=True`` (the default) the registration is checked: the
+    description must be non-empty, the class must define
+    ``handle_control_buffer``, and the class source is run through the
+    symbex-compatibility lint.  Lint findings are recorded on
+    :attr:`AgentInfo.lint_findings` (and surfaced by ``soft list-agents``);
+    with ``strict=True`` they reject the registration outright.
+    ``validate=False`` is the escape hatch for deliberately degenerate test
+    stubs.
     """
 
     def decorate(cls: Type) -> Type:
         agent_name = name or getattr(cls, "NAME", None)
         if not agent_name:
-            raise ValueError(
+            raise AgentRegistrationError(
                 "agent class %r has no NAME attribute and no explicit "
                 "register_agent(name=...)" % (cls,))
+        resolved_description = (description if description is not None
+                                else first_doc_line(cls))
+        findings: Tuple[str, ...] = ()
+        if validate:
+            if agent_name in _INFO and not replace:
+                raise AgentRegistrationError(
+                    "agent %r is already registered (pass replace=True to "
+                    "override it)" % agent_name)
+            if not resolved_description.strip():
+                raise AgentRegistrationError(
+                    "agent %r has no description: pass description=... or "
+                    "give the class a docstring" % agent_name)
+            if not callable(getattr(cls, "handle_control_buffer", None)):
+                raise AgentRegistrationError(
+                    "agent %r does not define handle_control_buffer(); the "
+                    "harness cannot drive it" % agent_name)
+            # Imported lazily: the analysis package is optional at import
+            # time and itself imports nothing from repro.agents.
+            from repro.analysis.lint import lint_class
+
+            findings = tuple(
+                "%s:%d: %s" % (f.path, f.line, f.message)
+                for f in lint_class(cls) if not f.suppressed)
+            if strict and findings:
+                raise AgentRegistrationError(
+                    "agent %r fails the symbex-compatibility lint:\n  %s"
+                    % (agent_name, "\n  ".join(findings)))
         info = AgentInfo(
             name=agent_name,
             factory=cls,
-            description=description if description is not None else first_doc_line(cls),
+            description=resolved_description,
             vendor=vendor,
             tags=tuple(tags),
+            lint_findings=findings,
         )
         _INFO[agent_name] = info
         AGENT_REGISTRY[agent_name] = cls

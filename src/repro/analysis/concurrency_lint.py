@@ -1,0 +1,178 @@
+"""Concurrency lint: unlocked writes to shared state in lock-owning classes.
+
+The campaign caches (:mod:`repro.core.campaign`), the triage index
+(:mod:`repro.witness`), the incremental SAT engine
+(:mod:`repro.symbex.incremental`) and the path budget all follow the same
+hand-maintained invariant: the class owns a ``threading.Lock``/``RLock`` and
+every mutation of shared ``self`` state from a public method happens inside
+``with self._lock:``.  Their instances are shared across worker-pool
+callables, so one forgotten ``with`` block is a data race that only shows up
+as a corrupted cache under parallel campaigns.
+
+Two checks:
+
+* **Lock-owning classes** — any class that assigns a ``Lock``/``RLock`` to a
+  ``self`` attribute: every mutation of a ``self``-rooted attribute in a
+  *public* method (not ``__init__``, not underscore-prefixed — private
+  helpers are assumed to run under the caller's lock) must be lexically
+  inside a ``with self.<lock>:`` block.
+* **Thread-safety claims** — a class with *no* lock whose docstring claims
+  thread-safety: every mutation in every method is flagged, so the claim has
+  to be justified per line (see ``InternTable`` for the GIL-atomicity
+  argument).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["MUTATING_METHODS", "check_tree"]
+
+#: Method names whose call on a ``self`` attribute mutates it in place.
+MUTATING_METHODS = frozenset({
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "remove", "discard", "extend", "insert", "appendleft", "popleft",
+    "write",
+})
+
+_THREAD_SAFE_CLAIM = re.compile(r"thread[- ]saf", re.IGNORECASE)
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("Lock", "RLock")
+    if isinstance(func, ast.Name):
+        return func.id in ("Lock", "RLock")
+    return False
+
+
+def _self_attr_name(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (top-level attribute only), else ``None``."""
+
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _rooted_at_self(node: ast.expr) -> bool:
+    """True for ``self.a``, ``self.a.b``, ``self.a[k]`` and deeper chains."""
+
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+    locks: Set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                name = _self_attr_name(target)
+                if name is not None:
+                    locks.add(name)
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                and _is_lock_ctor(node.value)):
+            name = _self_attr_name(node.target)
+            if name is not None:
+                locks.add(name)
+    return locks
+
+
+def _with_holds_lock(node: ast.With, lock_attrs: Set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        name = _self_attr_name(expr)
+        if name is not None and name in lock_attrs:
+            return True
+    return False
+
+
+def _mutation_at(node: ast.stmt) -> Optional[Tuple[int, str]]:
+    """(line, description) when *node* mutates ``self``-rooted state."""
+
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                continue
+            if _rooted_at_self(target):
+                return (node.lineno, "assignment to shared attribute")
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if _rooted_at_self(target):
+                return (node.lineno, "deletion of shared attribute")
+    elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+        func = node.value.func
+        # self.X.add(...) mutates container X; a bare self.add(...) is the
+        # class's own method (which takes the lock itself) — not a mutation.
+        if (isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS
+                and not isinstance(func.value, ast.Name)
+                and _rooted_at_self(func.value)):
+            return (node.lineno, "in-place %s() on shared attribute" % func.attr)
+    return None
+
+
+def _scan_body(body: List[ast.stmt], lock_attrs: Set[str], locked: bool,
+               findings: List[Tuple[int, str]], context: str) -> None:
+    for node in body:
+        if not locked:
+            mutation = _mutation_at(node)
+            if mutation is not None:
+                line, what = mutation
+                findings.append((line, "%s outside a lock in %s"
+                                 % (what, context)))
+        if isinstance(node, ast.With):
+            now_locked = locked or _with_holds_lock(node, lock_attrs)
+            _scan_body(node.body, lock_attrs, now_locked, findings, context)
+        elif isinstance(node, (ast.If, ast.While, ast.For)):
+            _scan_body(node.body, lock_attrs, locked, findings, context)
+            _scan_body(node.orelse, lock_attrs, locked, findings, context)
+        elif isinstance(node, ast.Try):
+            _scan_body(node.body, lock_attrs, locked, findings, context)
+            for handler in node.handlers:
+                _scan_body(handler.body, lock_attrs, locked, findings, context)
+            _scan_body(node.orelse, lock_attrs, locked, findings, context)
+            _scan_body(node.finalbody, lock_attrs, locked, findings, context)
+        # Nested function/class definitions are deliberately not descended
+        # into: they run in their own call context, not this method's.
+
+
+def _check_class(class_node: ast.ClassDef) -> List[Tuple[int, str]]:
+    findings: List[Tuple[int, str]] = []
+    lock_attrs = _lock_attrs(class_node)
+    docstring = ast.get_docstring(class_node) or ""
+    claims_safety = bool(_THREAD_SAFE_CLAIM.search(docstring))
+
+    for node in class_node.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name == "__init__":
+            continue
+        if lock_attrs:
+            # Private helpers are assumed to run under the caller's lock.
+            if node.name.startswith("_") and not node.name.startswith("__"):
+                continue
+            context = ("public method %s.%s of lock-owning class"
+                       % (class_node.name, node.name))
+            _scan_body(node.body, lock_attrs, False, findings, context)
+        elif claims_safety:
+            context = ("method %s.%s of class claiming thread-safety "
+                       "without a lock" % (class_node.name, node.name))
+            _scan_body(node.body, set(), False, findings, context)
+    return findings
+
+
+def check_tree(tree: ast.AST) -> List[Tuple[int, str]]:
+    """All concurrency findings of a parsed source, as (line, message)."""
+
+    findings: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_check_class(node))
+    return sorted(set(findings))

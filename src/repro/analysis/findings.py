@@ -1,0 +1,142 @@
+"""Lint findings, reports and the suppression-comment protocol.
+
+A finding is silenced per line with::
+
+    # soft-lint: disable=<rule>[,<rule>...] -- <reason>
+
+on the offending line or the line directly above.  ``disable=all`` covers
+every rule.  The reason after ``--`` is mandatory: a suppression without one
+does not suppress (the point is that every silenced finding carries its
+justification in the source, next to the code it excuses).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["Finding", "LintReport", "suppressions_in_source"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*soft-lint:\s*disable=([A-Za-z0-9_,-]+)(?:\s*--\s*(\S.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pinned to a (rule, file, line)."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: Tuple[str, ...] = ()
+
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": "soft/lint-report/v1",
+            "rules": list(self.rules),
+            "files_scanned": self.files_scanned,
+            "finding_count": len(self.findings),
+            "unsuppressed_count": len(self.unsuppressed()),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def describe(self) -> str:
+        lines = ["soft lint: %d file(s), rules: %s"
+                 % (self.files_scanned, ", ".join(self.rules) or "-")]
+        active = self.unsuppressed()
+        if not active:
+            lines.append("clean: no unsuppressed findings (%d suppressed)"
+                         % (len(self.findings)))
+            return "\n".join(lines)
+        header = "%-24s %-48s %s" % ("rule", "location", "message")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for finding in active:
+            location = "%s:%d" % (finding.path, finding.line)
+            lines.append("%-24s %-48s %s"
+                         % (finding.rule, location, finding.message))
+        lines.append("%d unsuppressed finding(s)" % len(active))
+        return "\n".join(lines)
+
+
+def suppressions_in_source(source: str) -> Dict[int, Tuple[Set[str], str]]:
+    """Line -> (rules, reason) for every suppression comment in *source*.
+
+    Comments whose reason is missing are dropped — an unexplained
+    suppression is not a suppression.
+    """
+
+    suppressions: Dict[int, Tuple[Set[str], str]] = {}
+    for index, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        reason = (match.group(2) or "").strip()
+        if not reason:
+            continue
+        rules = {rule.strip() for rule in match.group(1).split(",")
+                 if rule.strip()}
+        if rules:
+            suppressions[index] = (rules, reason)
+    return suppressions
+
+
+def apply_suppressions(findings: List[Finding], source: str,
+                       line_offset: int = 0) -> List[Finding]:
+    """Mark findings covered by a suppression comment on their line or above.
+
+    *line_offset* shifts finding lines back into *source* coordinates when
+    the findings were produced from a dedented extract (``lint_class``).
+    """
+
+    suppressions = suppressions_in_source(source)
+    if not suppressions:
+        return findings
+    out: List[Finding] = []
+    for finding in findings:
+        local_line = finding.line - line_offset
+        covered = None
+        for candidate in (local_line, local_line - 1):
+            entry = suppressions.get(candidate)
+            if entry is None:
+                continue
+            rules, reason = entry
+            if "all" in rules or finding.rule in rules:
+                covered = reason
+                break
+        if covered is None:
+            out.append(finding)
+        else:
+            out.append(Finding(finding.rule, finding.path, finding.line,
+                               finding.message, suppressed=True,
+                               suppress_reason=covered))
+    return out

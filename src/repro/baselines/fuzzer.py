@@ -125,26 +125,48 @@ class DifferentialFuzzer:
     omitted, one is built from *seed*.  *agent_factory* overrides how agent
     names become instances (defaults to the registry), which lets callers
     fuzz unregistered in-test agents.
+
+    *interesting_values* is an optional pool of constants (typically mined
+    from the agents' comparisons by
+    :func:`repro.analysis.decision_map.build_decision_map`): with probability
+    *interesting_prob* per field, a pool value (masked to the field width) is
+    drawn instead of a uniform one.  Hitting a compared 16-bit constant by
+    uniform chance is a 2^-16 lottery ticket; drawing it from the pool is
+    how static analysis pays the fuzzer back.  With no pool, the draw
+    sequence is bit-for-bit identical to the pool-less fuzzer for the same
+    seed.
     """
 
     def __init__(self, agent_a: str, agent_b: str, seed: int = 0,
                  rng: Optional[random.Random] = None,
-                 agent_factory: Optional[AgentFactory] = None) -> None:
+                 agent_factory: Optional[AgentFactory] = None,
+                 interesting_values: Optional[Sequence[int]] = None,
+                 interesting_prob: float = 0.25) -> None:
         self.agent_a = agent_a
         self.agent_b = agent_b
         self.random = rng if rng is not None else random.Random(seed)
         self._factory = agent_factory if agent_factory is not None else make_agent
+        self.interesting_values = list(interesting_values or [])
+        self.interesting_prob = interesting_prob
 
     # ------------------------------------------------------------------
     # Random input generation
     # ------------------------------------------------------------------
 
+    def _field(self, bits: int) -> int:
+        """One random field value, biased toward the interesting pool."""
+
+        rng = self.random
+        if self.interesting_values and rng.random() < self.interesting_prob:
+            return rng.choice(self.interesting_values) & ((1 << bits) - 1)
+        return rng.randrange(0, 1 << bits)
+
     def random_packet_out(self) -> Tuple[str, InputSequence]:
         rng = self.random
-        port = rng.randrange(0, 0x10000)
+        port = self._field(16)
         buffer_id = rng.choice([c.OFP_NO_BUFFER, rng.randrange(0, 0x100000000)])
         action_type = rng.randrange(0, 13)
-        action_arg = rng.randrange(0, 0x10000)
+        action_arg = self._field(16)
         message = PacketOut(
             xid=rng.randrange(1, 1 << 31),
             buffer_id=buffer_id,
@@ -162,7 +184,7 @@ class DifferentialFuzzer:
     def random_flow_mod(self) -> Tuple[str, InputSequence]:
         rng = self.random
         command = rng.randrange(0, 6)
-        out_port = rng.randrange(0, 0x10000)
+        out_port = self._field(16)
         flags = rng.randrange(0, 8)
         wildcards = rng.choice([c.OFPFW_ALL, c.OFPFW_ALL & ~c.OFPFW_IN_PORT, 0])
         match = Match(wildcards=wildcards, in_port=rng.randrange(0, 32),

@@ -17,6 +17,7 @@ commands::
     soft corpus run --dir corpus/  # solver-free regression replay
     soft oftest --agent ovs         # the manual baseline suite
     soft fuzz --agent-a reference --agent-b ovs --iterations 200
+    soft lint                       # static analysis over the repro stack
 """
 
 from __future__ import annotations
@@ -174,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--iterations", type=int, default=100)
     fuzz.add_argument("--seed", type=int, default=0,
                       help="RNG seed; the same seed replays the same campaign")
+    fuzz.add_argument("--mine-constants", action="store_true",
+                      help="bias random fields toward constants mined from the "
+                           "agents' branch comparisons (decision-map analysis)")
 
     hunt = subparsers.add_parser(
         "hunt",
@@ -193,6 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "--stages fuzz for the pure-fuzz baseline" % ",".join(ALL_STAGES))
     hunt.add_argument("--no-minimize", action="store_true",
                       help="skip delta-minimization of witnesses")
+    hunt.add_argument("--mine-constants", action="store_true",
+                      help="bias fuzz-stage draws toward constants mined from "
+                           "the agents' branch comparisons")
     hunt.add_argument("--corpus", metavar="DIR",
                       help="load historical witnesses from DIR and persist new "
                            "confirmed clusters back into it")
@@ -200,6 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable hunt report to FILE ('-' = stdout)")
     hunt.add_argument("--quiet", action="store_true",
                       help="suppress the human-readable summary")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: broad excepts, symbex-incompatible agent "
+             "constructs, unlocked shared state; non-zero exit on findings")
+    lint.add_argument("--path", action="append", default=[], metavar="PATH",
+                      help="file or directory to lint (repeatable; default: "
+                           "the installed repro package)")
+    lint.add_argument("--rules", default="",
+                      help="comma-separated rule subset (default: all rules)")
+    lint.add_argument("--json", metavar="FILE", dest="json_out",
+                      help="write the machine-readable lint report to FILE "
+                           "('-' = stdout)")
+    lint.add_argument("--quiet", action="store_true",
+                      help="suppress the human-readable table")
 
     return parser
 
@@ -216,6 +238,8 @@ def _cmd_list_agents() -> int:
         print("%-12s %s" % (name, description))
         if info.vendor:
             print("%-12s   models: %s" % ("", info.vendor))
+        for finding in info.lint_findings:
+            print("%-12s   symbex-compat: %s" % ("", finding))
     return 0
 
 
@@ -406,9 +430,24 @@ def _cmd_oftest(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _mined_pool(*agent_names: str) -> List[int]:
+    """Merged interesting-value pool from the agents' decision maps."""
+
+    from repro.analysis.decision_map import decision_map_for_agent
+
+    pool: set = set()
+    for name in agent_names:
+        pool.update(decision_map_for_agent(name).interesting_values())
+    return sorted(pool)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    fuzzer = DifferentialFuzzer(args.agent_a, args.agent_b, seed=args.seed)
+    interesting = _mined_pool(args.agent_a, args.agent_b) if args.mine_constants else None
+    fuzzer = DifferentialFuzzer(args.agent_a, args.agent_b, seed=args.seed,
+                                interesting_values=interesting)
     report = fuzzer.run(iterations=args.iterations)
+    if interesting:
+        print("mined %d interesting constant(s) from decision maps" % len(interesting))
     print("%d iterations, %d divergences (%.1f%%)" % (
         report.iterations, report.divergence_count, 100 * report.divergence_rate))
     for divergence in report.divergences[:20]:
@@ -425,6 +464,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     config = HybridConfig(budget=args.budget, slice_time=args.slice_time,
                           seed=args.seed, stages=stages,
                           minimize=not args.no_minimize,
+                          mined_constants=args.mine_constants,
                           corpus_dir=args.corpus)
     report = HybridHunt(args.test, args.agent_a, args.agent_b, config=config).run()
     if not args.quiet:
@@ -435,6 +475,32 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         if code:
             return code
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.analysis.lint import run_lint
+
+    paths = args.path
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    rules = _split_csv(args.rules) or None
+    try:
+        report = run_lint(paths, rules=rules)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(report.describe())
+    if args.json_out:
+        code = _write_json(json_mod.dumps(report.to_dict(), indent=2),
+                           args.json_out, args.quiet)
+        if code:
+            return code
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -468,6 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "hunt":
             return _cmd_hunt(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except (ArtifactError, CampaignError, CorpusError, WitnessError) as exc:
         print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2

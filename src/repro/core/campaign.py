@@ -232,7 +232,7 @@ def _picklable(spec: TestSpec) -> bool:
     try:
         pickle.dumps(spec)
         return True
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
         return False
 
 
@@ -279,6 +279,21 @@ class CampaignReport:
     #: mode.  When non-empty, ``reports`` is empty and the exploration
     #: counters are zero — the hunts carry the per-pair detail instead.
     hunts: List["HuntReport"] = dataclass_field(default_factory=list)
+    #: Campaign-wide coverage aggregate (``with_coverage=True`` only):
+    #: static decision-map sites, the dynamic branch points reached, and
+    #: their ratio (the true ``coverage_fraction``).
+    coverage: Optional[Dict[str, object]] = None
+
+    @property
+    def coverage_fraction(self) -> Optional[float]:
+        """Dynamic branch points / static decision-map sites, campaign-wide.
+
+        ``None`` when the campaign ran without coverage tracking.
+        """
+
+        if self.coverage is None:
+            return None
+        return float(self.coverage.get("coverage_fraction", 0.0))
 
     def report_for(self, test: str, agent_a: str, agent_b: str) -> Optional[SoftReport]:
         """The pair report for (*test*, *agent_a*, *agent_b*), order-insensitive."""
@@ -346,6 +361,7 @@ class CampaignReport:
                        if self.corpus_dir else None),
             "explorations": [dict(row) for row in self.exploration_stats],
             "hunts": [hunt.to_dict() for hunt in self.hunts],
+            "coverage": dict(self.coverage) if self.coverage is not None else None,
             "totals": {
                 "pair_reports": self.pair_count,
                 "solver_queries": self.total_queries,
@@ -397,6 +413,13 @@ class CampaignReport:
             lines.append(
                 "  phase 2b: legacy: %d backend rebuild(s) across %d query(ies)"
                 % (stats.get("sat_backend_runs", 0), stats.get("queries", 0)))
+        if self.coverage is not None:
+            lines.append(
+                "  coverage: %d of %d static decision site(s) reached "
+                "(coverage_fraction=%.3f)"
+                % (self.coverage.get("executed_branch_points", 0),
+                   self.coverage.get("decision_sites", 0),
+                   float(self.coverage.get("coverage_fraction", 0.0))))
         if self.intern_stats:
             lines.append(
                 "  terms: %d distinct interned (%.0f%% construction hit rate), "
@@ -941,13 +964,16 @@ class Campaign:
                 merge_stat_dicts(solver_stats, report.crosscheck.solver_stats)
 
         exploration_stats: List[Dict[str, object]] = []
+        coverage_sites = 0
+        coverage_executed = 0
+        coverage_seen = False
         for spec in specs:
             for agent in paired_agents:
                 entry = self.cache.peek(agent, spec)
                 if entry is None:
                     continue
                 engine_stats = entry.report.engine_stats or {}
-                exploration_stats.append({
+                row: Dict[str, object] = {
                     "agent": agent,
                     "test": spec.key,
                     "scale": spec.scale,
@@ -959,7 +985,23 @@ class Campaign:
                     "discarded_replays": engine_stats.get("discarded_replays", 0),
                     "truncated": entry.report.truncated,
                     "wall_time": entry.wall_time,
-                })
+                }
+                entry_coverage = entry.report.coverage
+                if entry_coverage is not None:
+                    coverage_seen = True
+                    coverage_sites += entry_coverage.branch_point_count
+                    coverage_executed += entry_coverage.executed_branch_point_count
+                    row["coverage_fraction"] = entry_coverage.coverage_fraction
+                exploration_stats.append(row)
+
+        coverage_summary: Optional[Dict[str, object]] = None
+        if coverage_seen:
+            coverage_summary = {
+                "decision_sites": coverage_sites,
+                "executed_branch_points": coverage_executed,
+                "coverage_fraction": (coverage_executed / coverage_sites
+                                      if coverage_sites else 0.0),
+            }
 
         intern_stats: Dict[str, object] = {
             "hits": table.hits - intern_hits_before,
@@ -992,6 +1034,7 @@ class Campaign:
             triage=triage_report,
             corpus_dir=self.corpus_dir,
             corpus_saved=corpus_saved,
+            coverage=coverage_summary,
         )
 
     # ------------------------------------------------------------------

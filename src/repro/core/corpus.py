@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.agents.registry import AGENT_REGISTRY
 from repro.core.testcase import AgentFactory, resolve_agent_factory
 from repro.core.witness import Witness, WitnessCluster
-from repro.errors import CorpusError
+from repro.errors import CorpusError, ReproError
 from repro.harness.driver import run_concrete_sequence
 
 __all__ = ["WitnessCorpus", "CorpusRunReport", "CorpusEntryResult"]
@@ -194,7 +194,7 @@ class WitnessCorpus:
         if os.path.exists(path) and not overwrite:
             try:
                 existing = load_witness_bundle(path)
-            except Exception:
+            except (ReproError, ValueError, KeyError, TypeError):
                 existing = None  # unreadable bundle: replace it
             if existing is not None and existing.size_key() <= witness.size_key():
                 return path, False
@@ -251,7 +251,7 @@ class WitnessCorpus:
         entry_started = time.perf_counter()
         try:
             witness = load_witness_bundle(path)
-        except Exception as exc:
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
             return CorpusEntryResult(path=path, test_key="?", agent_a="?", agent_b="?",
                                      status="error", detail="unreadable bundle: %s" % exc)
         result = CorpusEntryResult(path=path, test_key=witness.test_key,
@@ -267,6 +267,7 @@ class WitnessCorpus:
         try:
             run_a = run_concrete_sequence(factory(witness.agent_a), witness.testcase.inputs)
             run_b = run_concrete_sequence(factory(witness.agent_b), witness.testcase.inputs)
+        # soft-lint: disable=broad-except -- replay executes arbitrary agent code; any crash is this entry's result, not ours
         except Exception as exc:
             result.detail = "replay failed: %s" % exc
             result.wall_time = time.perf_counter() - entry_started

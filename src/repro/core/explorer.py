@@ -225,13 +225,22 @@ def explore_agent(agent: AgentSpec,
     ]
     trackers: List[Optional[CoverageTracker]] = []
 
+    # Static decision-map sites become explicit targets for the
+    # coverage-guided strategy: reaching one for the first time outscores
+    # generic line/arc novelty.
+    targets = None
+    if with_coverage and config.strategy == "coverage":
+        from repro.analysis.decision_map import build_decision_map
+
+        targets = build_decision_map(packages).site_keys()
+
     def setup(index: int):
         worker_tracker = CoverageTracker(packages=packages) if with_coverage else None
         trackers.append(worker_tracker)
         driver = TestDriver(agent_factory=factory, inputs=spec.inputs,
                             coverage_tracker=worker_tracker)
         frontier = make_strategy(config.strategy, seed=config.strategy_seed + index,
-                                 tracker=worker_tracker)
+                                 tracker=worker_tracker, targets=targets)
         return driver.program, frontier
 
     started = time.process_time()

@@ -47,7 +47,7 @@ def _module_files(package_names: Iterable[str]) -> Dict[str, str]:
         for module_info in pkgutil.walk_packages(search_path, prefix=package_name + "."):
             try:
                 module = importlib.import_module(module_info.name)
-            except Exception:  # pragma: no cover - defensive
+            except ImportError:  # pragma: no cover - defensive
                 continue
             module_file = getattr(module, "__file__", None)
             if module_file:
@@ -74,21 +74,17 @@ def executable_lines(filename: str) -> Set[int]:
 
 
 def branch_lines(filename: str) -> Set[int]:
-    """Statically determine the lines that contain a branch point."""
+    """Statically determine the lines that contain a branch point.
 
-    with open(filename, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=filename)
-    lines: Set[int] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.If, ast.While, ast.IfExp, ast.Assert)):
-            lines.add(node.lineno)
-        elif isinstance(node, ast.comprehension):
-            for condition in node.ifs:
-                lines.add(condition.lineno)
-        elif isinstance(node, ast.BoolOp):
-            lines.add(node.lineno)
-    return lines
+    Thin wrapper over the decision-map extractor so the tracker's dynamic
+    branch accounting and the static denominator behind ``coverage_fraction``
+    share one definition of "branch site" — the dynamic set is a subset of
+    the static one by construction.
+    """
+
+    from repro.analysis.decision_map import branch_sites_for_file
+
+    return {site.line for site in branch_sites_for_file(filename)}
 
 
 @dataclass
@@ -99,6 +95,10 @@ class CoverageReport:
     executed_line_count: int
     branch_point_count: int
     executed_branch_arc_count: int
+    #: Static branch sites whose line was executed at least once — the
+    #: numerator of :attr:`coverage_fraction` (denominator is the static
+    #: :attr:`branch_point_count` from the decision map).
+    executed_branch_point_count: int = 0
 
     @property
     def instruction_coverage(self) -> float:
@@ -116,14 +116,29 @@ class CoverageReport:
             return 0.0
         return min(1.0, self.executed_branch_arc_count / (2.0 * self.branch_point_count))
 
+    @property
+    def coverage_fraction(self) -> float:
+        """Dynamic branch points reached over static decision-map sites.
+
+        This is the true fraction the paper-style "coverage" tables need:
+        the denominator is counted statically before any path runs, so an
+        unexplored agent reports 0.0 rather than an undefined novelty count.
+        """
+
+        if not self.branch_point_count:
+            return 0.0
+        return self.executed_branch_point_count / self.branch_point_count
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "executable_lines": self.executable_line_count,
             "executed_lines": self.executed_line_count,
             "branch_points": self.branch_point_count,
             "executed_branch_arcs": self.executed_branch_arc_count,
+            "executed_branch_points": self.executed_branch_point_count,
             "instruction_coverage": self.instruction_coverage,
             "branch_coverage": self.branch_coverage,
+            "coverage_fraction": self.coverage_fraction,
         }
 
     @classmethod
@@ -135,6 +150,7 @@ class CoverageReport:
             executed_line_count=int(data["executed_lines"]),
             branch_point_count=int(data["branch_points"]),
             executed_branch_arc_count=int(data["executed_branch_arcs"]),
+            executed_branch_point_count=int(data.get("executed_branch_points", 0)),
         )
 
 
@@ -258,6 +274,7 @@ class CoverageTracker:
         executed_count = 0
         branch_count = 0
         arc_count = 0
+        executed_branch_count = 0
         for path in selected:
             executable = self._executable.get(path, set())
             executed = self.executed.get(path, set()) & executable
@@ -265,10 +282,26 @@ class CoverageTracker:
             executable_count += len(executable)
             executed_count += len(executed)
             branch_count += len(branches)
+            executed_branch_count += len(self.executed.get(path, set()) & branches)
             arc_count += sum(1 for (src, _dst) in self.arcs.get(path, set()) if src in branches)
         return CoverageReport(
             executable_line_count=executable_count,
             executed_line_count=executed_count,
             branch_point_count=branch_count,
             executed_branch_arc_count=arc_count,
+            executed_branch_point_count=executed_branch_count,
         )
+
+    def uncovered_sites(self) -> Set[Tuple[str, int]]:
+        """Static branch sites never executed so far, as ``(path, line)``.
+
+        These are the explicit targets handed to the coverage-guided
+        strategy and the hybrid hunt: every element is a decision the
+        exploration has not yet reached.
+        """
+
+        return {
+            (path, line)
+            for path, branches in self._branches.items()
+            for line in branches - self.executed.get(path, set())
+        }

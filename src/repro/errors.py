@@ -115,6 +115,23 @@ class AgentCrash(AgentError):
         self.reason = reason
 
 
+class AgentRegistrationError(AgentError):
+    """An agent failed registration-time validation.
+
+    Raised for metadata problems (empty description, duplicate name,
+    missing ``handle_control_buffer``) and, under ``strict=True``, for
+    symbex-compatibility lint findings in the agent's source.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """A static-analysis pass (decision map or lint) was driven incorrectly."""
+
+
 # ---------------------------------------------------------------------------
 # Harness / core pipeline
 # ---------------------------------------------------------------------------

@@ -68,7 +68,7 @@ from repro.core.witness import (
     minimize_witness,
 )
 from repro.coverage.tracker import CoverageTracker
-from repro.errors import CampaignError
+from repro.errors import ArtifactError, CampaignError, CorpusError
 from repro.harness.driver import TestDriver, run_concrete_sequence
 from repro.hybrid.seeds import Seed, SeedPool
 from repro.symbex.concolic import ConcolicExecutor
@@ -108,6 +108,17 @@ class HybridConfig:
     #: Weight of one new witness cluster vs one new coverage unit when
     #: re-allocating slices (divergences are the point of the exercise).
     divergence_weight: float = 200.0
+    #: Weight of one *statically known* decision-map branch site reached for
+    #: the first time.  Sites come from :mod:`repro.analysis.decision_map`;
+    #: a stage that keeps turning uncovered static sites into covered ones
+    #: keeps the clock even when raw line/arc novelty stalls.
+    target_site_weight: float = 25.0
+    #: Mix decision-map mined constants into fuzz draws: with probability
+    #: :attr:`interesting_prob` per field, draw a compared constant (masked
+    #: to the field width) instead of a uniform value.  Off by default so
+    #: pure-fuzz baselines stay the paper's uninformed random search.
+    mined_constants: bool = False
+    interesting_prob: float = 0.25
     #: Delta-minimize the first witness of each new signature.
     minimize: bool = True
     minimize_budget: int = 24
@@ -136,17 +147,24 @@ class StageStats:
     divergences: int = 0
     new_clusters: int = 0
     new_coverage_units: int = 0
+    #: Static decision-map branch sites this stage reached first.
+    new_target_sites: int = 0
     seeds_added: int = 0
 
-    def value(self, divergence_weight: float) -> float:
-        return self.new_coverage_units + divergence_weight * self.new_clusters
+    def value(self, divergence_weight: float,
+              target_site_weight: float = 0.0) -> float:
+        return (self.new_coverage_units
+                + divergence_weight * self.new_clusters
+                + target_site_weight * self.new_target_sites)
 
-    def rate(self, divergence_weight: float) -> float:
+    def rate(self, divergence_weight: float,
+             target_site_weight: float = 0.0) -> float:
         """Marginal value per second; optimistic (inf-like) before first run."""
 
         if not self.slices:
             return float("inf")
-        return self.value(divergence_weight) / max(self.time_spent, 1e-9)
+        return (self.value(divergence_weight, target_site_weight)
+                / max(self.time_spent, 1e-9))
 
     def as_dict(self) -> Dict[str, object]:
         spent = max(self.time_spent, 1e-9)
@@ -157,6 +175,7 @@ class StageStats:
             "divergences": self.divergences,
             "new_clusters": self.new_clusters,
             "new_coverage_units": self.new_coverage_units,
+            "new_target_sites": self.new_target_sites,
             "seeds_added": self.seeds_added,
             "coverage_per_sec": self.new_coverage_units / spent,
             "divergences_per_sec": self.divergences / spent,
@@ -173,6 +192,8 @@ class HybridStats:
     stages: Dict[str, StageStats] = field(default_factory=dict)
     seed_pool: Dict[str, object] = field(default_factory=dict)
     concolic: Dict[str, float] = field(default_factory=dict)
+    #: Decision-map target accounting: static site total vs sites reached.
+    targets: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -182,6 +203,7 @@ class HybridStats:
             "stages": {name: stats.as_dict() for name, stats in self.stages.items()},
             "seed_pool": self.seed_pool,
             "concolic": self.concolic,
+            "targets": self.targets,
         }
 
 
@@ -299,6 +321,20 @@ class HybridHunt:
                                if self.tracker is not None else None)
         self._covered_units = 0
 
+        # Static decision map over the same packages: its sites are the
+        # hunt's explicit targets, and its mined constants optionally feed
+        # the fuzz stage's interesting-value pool.
+        self._target_sites: set = set()
+        self._targets_covered: set = set()
+        self._interesting: List[int] = []
+        if self.tracker is not None:
+            from repro.analysis.decision_map import build_decision_map
+
+            decision_map = build_decision_map(packages)
+            self._target_sites = decision_map.site_keys()
+            if self.config.mined_constants:
+                self._interesting = decision_map.interesting_values()
+
         solver_config = self.config.solver_config or SolverConfig()
         engine_config = self.config.engine_config or EngineConfig()
         self._engine_config = engine_config
@@ -361,16 +397,23 @@ class HybridHunt:
             slice_deadline = min(now + config.slice_time, deadline)
             clusters_before = len(self.triage.clusters())
             covered_before = self._covered_units
+            targets_before = len(self._targets_covered)
             runners[stage.name](stage, slice_deadline)
             elapsed = self.clock() - now
             stage.slices += 1
             stage.time_spent += elapsed
             stage.new_clusters += len(self.triage.clusters()) - clusters_before
             stage.new_coverage_units += self._covered_units - covered_before
+            stage.new_target_sites += len(self._targets_covered) - targets_before
             stats.slices += 1
 
         stats.wall_time = self.clock() - started
         stats.seed_pool = self.pool.stats_dict()
+        if self._target_sites:
+            stats.targets = {
+                "decision_sites": len(self._target_sites),
+                "sites_covered": len(self._targets_covered),
+            }
         concolic_stats: Dict[str, float] = {}
         for executor in self._executors.values():
             for key, value in executor.stats.as_dict().items():
@@ -408,7 +451,8 @@ class HybridHunt:
         best_rate = -1.0
         for name in self.config.stages:
             stage = stages[name]
-            rate = stage.rate(self.config.divergence_weight)
+            rate = stage.rate(self.config.divergence_weight,
+                              self.config.target_site_weight)
             if rate > best_rate:
                 best, best_rate = stage, rate
         return best
@@ -418,8 +462,20 @@ class HybridHunt:
     # ------------------------------------------------------------------
 
     def _random_assignment(self) -> Dict[str, int]:
-        return {name: self.rng.randrange(0, 1 << width)
-                for name, width in self._symbols.items()}
+        # With no interesting-value pool this draws exactly one rng value per
+        # symbol, so seeded hunts reproduce bit-for-bit whether or not the
+        # decision map was built.
+        if not self._interesting:
+            return {name: self.rng.randrange(0, 1 << width)
+                    for name, width in self._symbols.items()}
+        assignment: Dict[str, int] = {}
+        for name, width in self._symbols.items():
+            if self.rng.random() < self.config.interesting_prob:
+                assignment[name] = (self.rng.choice(self._interesting)
+                                    & ((1 << width) - 1))
+            else:
+                assignment[name] = self.rng.randrange(0, 1 << width)
+        return assignment
 
     def _replay_assignment(self, assignment: Dict[str, int], origin: str,
                            stage: StageStats,
@@ -443,6 +499,12 @@ class HybridHunt:
             fingerprint = self._probe_tracker.fingerprint()
             self.tracker.merge_from(self._probe_tracker)
             self._covered_units = len(self.tracker.fingerprint())
+            if self._target_sites:
+                self._targets_covered |= {
+                    (path, line)
+                    for path, line in self._target_sites - self._targets_covered
+                    if line in self.tracker.executed.get(path, ())
+                }
         else:
             run_a = run_concrete_sequence(self._factory_a(), testcase.inputs)
             run_b = run_concrete_sequence(self._factory_b(), testcase.inputs)
@@ -584,7 +646,7 @@ class HybridHunt:
 
         try:
             bundles = WitnessCorpus(self.config.corpus_dir, create=False).load()
-        except Exception:
+        except (CorpusError, ArtifactError, OSError):
             return
         for witness in bundles:
             if witness.test_key != self.spec.key:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import MessageParseError
+from repro.errors import ConcretizationError, MessageParseError
 from repro.openflow import constants as c
 from repro.wire.buffer import SymBuffer
 from repro.wire.fields import FieldValue, as_field, field_int, field_repr
@@ -419,7 +419,7 @@ def unpack_actions(buf: SymBuffer, offset: int, length: int) -> List[Action]:
         action_len_field = buf.read_u16(offset + 2)
         try:
             action_len = field_int(action_len_field)
-        except Exception as exc:
+        except ConcretizationError as exc:
             raise MessageParseError("action length field must be concrete: %s" % exc) from exc
         if action_len < 8 or action_len % 8 or offset + action_len > end:
             raise MessageParseError("invalid action length %d" % action_len)

@@ -202,6 +202,7 @@ class ConcolicExecutor:
         previous = set_branch_hook(concrete_hook)
         try:
             program(state)
+        # soft-lint: disable=broad-except -- the traced program is arbitrary agent code; any crash is this trace's error output
         except Exception as exc:  # noqa: BLE001 - program bugs become trace errors
             error = "%s: %s" % (type(exc).__name__, exc)
         finally:

@@ -461,6 +461,7 @@ class Engine:
             error = "%s: %s" % (type(exc).__name__, exc)
             if isinstance(exc, DecisionLimitExceeded):
                 self._note_truncation("max_decisions_per_path")
+        # soft-lint: disable=broad-except -- the explored program is arbitrary agent code; any crash is this path's error output
         except Exception as exc:  # noqa: BLE001 - program bugs become path errors
             error = "%s: %s" % (type(exc).__name__, exc)
         return PathRecord(

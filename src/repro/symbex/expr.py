@@ -161,9 +161,9 @@ class InternTable:
     def _intern(self, key: tuple, candidate: "Expr") -> "Expr":
         interned = self._terms.setdefault(key, candidate)
         if interned is candidate:
-            self.misses += 1
+            self.misses += 1  # soft-lint: disable=unlocked-shared-state -- counters are documented best-effort; setdefault is the GIL-atomic mutation
         else:
-            self.hits += 1
+            self.hits += 1  # soft-lint: disable=unlocked-shared-state -- counters are documented best-effort; setdefault is the GIL-atomic mutation
         return interned
 
     @property
@@ -201,11 +201,15 @@ class InternTable:
         boolean constants stay pointer-identical across generations.
         """
 
-        self._terms.clear()
-        self.hits = 0
-        self.misses = 0
+        # reset() is a documented generation boundary, called only from the
+        # one campaign that owns the process's exploration life cycle —
+        # never concurrently with construction.
+        self._terms.clear()  # soft-lint: disable=unlocked-shared-state -- reset is a single-threaded generation boundary (see Campaign.reset_intern)
+        self.hits = 0  # soft-lint: disable=unlocked-shared-state -- reset is a single-threaded generation boundary (see Campaign.reset_intern)
+        self.misses = 0  # soft-lint: disable=unlocked-shared-state -- reset is a single-threaded generation boundary (see Campaign.reset_intern)
         for singleton in (globals().get("TRUE"), globals().get("FALSE")):
             if singleton is not None:
+                # soft-lint: disable=unlocked-shared-state -- reset is a single-threaded generation boundary (see Campaign.reset_intern)
                 self._terms[(BoolConst, singleton.value)] = singleton
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.errors import ReproError
 from repro.symbex.expr import (
     BoolAnd,
     BoolConst,
@@ -286,6 +287,6 @@ def analyze_conjunction(atoms: Iterable[BoolExpr]) -> IntervalOutcome:
 
     try:
         satisfied = all(evaluate_bool(atom, all_vars) for atom in atoms)
-    except Exception:  # pragma: no cover - defensive; evaluation never raises on closed terms
+    except (ReproError, ArithmeticError):  # pragma: no cover - defensive; evaluation never raises on closed terms
         satisfied = False
     return IntervalOutcome(IntervalOutcome.UNKNOWN, candidate=all_vars, verified=satisfied)

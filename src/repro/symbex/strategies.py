@@ -227,13 +227,25 @@ class CoverageGuidedStrategy(SearchStrategy):
 
     Ties break FIFO, so with a constant score this degrades gracefully to
     breadth-first order.
+
+    When *targets* — static decision-map sites as ``(path, line)`` pairs —
+    are supplied alongside a tracker, a path that executes a target site for
+    the first time earns an extra :attr:`TARGET_BONUS` per site, so the
+    search leans toward the statically-known branches it has not reached yet
+    rather than generic novelty.
     """
 
     name = "coverage"
 
-    def __init__(self, tracker: Optional[Any] = None) -> None:
+    #: Extra score per statically-known branch site reached for the first time.
+    TARGET_BONUS = 25
+
+    def __init__(self, tracker: Optional[Any] = None,
+                 targets: Optional[Any] = None) -> None:
         super().__init__()
         self.tracker = tracker
+        self.targets = set(targets) if targets else set()
+        self._targets_hit: set = set()
         self._heap: List[Tuple[int, int, Prefix]] = []
         self._batch: List[Prefix] = []
         self._counter = 0
@@ -248,12 +260,23 @@ class CoverageGuidedStrategy(SearchStrategy):
         arcs = sum(len(pairs) for pairs in self.tracker.arcs.values())
         return executed + arcs
 
+    def _new_target_hits(self) -> int:
+        if not self.targets or self.tracker is None:
+            return 0
+        hits = {
+            (path, line)
+            for path, line in self.targets - self._targets_hit
+            if line in self.tracker.executed.get(path, ())
+        }
+        self._targets_hit |= hits
+        return len(hits)
+
     def _score_path(self, record: Any) -> int:
         if self.tracker is not None:
             total = self._coverage_total()
             delta = total - self._covered
             self._covered = total
-            return delta
+            return delta + self.TARGET_BONUS * self._new_target_hits()
         log_key = repr(getattr(record, "events", None))
         if log_key in self._seen_logs:
             return 0
@@ -308,10 +331,15 @@ class CoverageGuidedStrategy(SearchStrategy):
         # Re-baseline against the (cumulative) tracker so a fresh exploration
         # scores only coverage it discovers itself, not the previous run's.
         self._covered = self._coverage_total() if self.tracker is not None else 0
+        self._targets_hit = set()
+        if self.targets and self.tracker is not None:
+            self._new_target_hits()  # absorb sites the tracker already covers
 
     def metrics(self) -> Dict[str, object]:
         data = super().metrics()
         data["scored_batches"] = self.rescores
+        data["target_sites"] = len(self.targets)
+        data["target_sites_hit"] = len(self._targets_hit)
         return data
 
 
@@ -330,11 +358,13 @@ def strategy_names() -> List[str]:
 
 
 def make_strategy(name: str, seed: int = 0,
-                  tracker: Optional[Any] = None) -> SearchStrategy:
+                  tracker: Optional[Any] = None,
+                  targets: Optional[Any] = None) -> SearchStrategy:
     """Instantiate a registered strategy by name.
 
-    *seed* parameterizes ``random``; *tracker* feeds ``coverage`` (both are
-    ignored by strategies that do not use them).
+    *seed* parameterizes ``random``; *tracker* and *targets* (static
+    decision-map sites) feed ``coverage`` (all are ignored by strategies
+    that do not use them).
     """
 
     try:
@@ -346,5 +376,5 @@ def make_strategy(name: str, seed: int = 0,
     if cls is RandomRestartStrategy:
         return cls(seed=seed)
     if cls is CoverageGuidedStrategy:
-        return cls(tracker=tracker)
+        return cls(tracker=tracker, targets=targets)
     return cls()

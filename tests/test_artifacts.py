@@ -254,11 +254,18 @@ def test_first_doc_line_handles_missing_and_empty_docstrings():
 
 def test_list_agents_survives_agent_with_empty_docstring(capsys):
     from repro.agents import registry
+    from repro.errors import AgentRegistrationError
 
-    @registry.register_agent("docless_stub")
     class DoclessStub:
         pass
 
+    # Registry validation (PR 7) rejects metadata-free agents by default...
+    with pytest.raises(AgentRegistrationError):
+        registry.register_agent("docless_stub")(DoclessStub)
+
+    # ...but validate=False keeps the old permissive path, and the CLI
+    # must still render the missing description without crashing.
+    registry.register_agent("docless_stub", validate=False)(DoclessStub)
     try:
         assert cli_main(["list-agents"]) == 0
         out = capsys.readouterr().out
