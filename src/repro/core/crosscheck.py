@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.grouping import GroupedResults, OutputGroup
 from repro.core.trace import OutputTrace
@@ -122,11 +122,20 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
                          solver: Optional[Solver] = None,
                          max_pairs: Optional[int] = None,
                          engine: Optional[GroupEncoding] = None,
-                         incremental: Optional[bool] = None) -> CrosscheckReport:
+                         incremental: Optional[bool] = None,
+                         deadline: Optional[float] = None,
+                         clock: Callable[[], float] = time.perf_counter,
+                         ) -> CrosscheckReport:
     """Crosscheck two agents' grouped results for one test specification.
 
     *max_pairs* caps the number of solver queries **globally** across the
     whole pair matrix; a truncated scan is flagged in the report.
+
+    *deadline* is an absolute time on *clock* (default
+    ``time.perf_counter``): once reached, the scan stops before the next
+    solver query and the report is flagged ``truncated``, like a
+    *max_pairs* cutoff.  Callers with query caches (the hybrid scheduler)
+    simply re-scan on the next slice — already-solved pairs are cheap.
 
     Mode selection: an explicit *engine* drives the incremental path on that
     (possibly shared) encoding; an explicit *solver* or ``incremental=False``
@@ -168,6 +177,9 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
                 identical += 1
                 continue
             if max_pairs is not None and queries >= max_pairs:
+                truncated = True
+                break
+            if deadline is not None and clock() >= deadline:
                 truncated = True
                 break
             queries += 1

@@ -604,17 +604,27 @@ class HybridHunt:
             return
         grouped_a = group_paths(self._exploration_report(self.agent_a, result_a))
         grouped_b = group_paths(self._exploration_report(self.agent_b, result_b))
+        # The pair scan is deadline-bounded on the hunt's own clock: a slice
+        # must never hold the scheduler past the global budget (the solver's
+        # query cache makes re-scanning the matrix next slice cheap).
         crosscheck = find_inconsistencies(
             grouped_a, grouped_b, solver=self._crosscheck_solver,
-            max_pairs=self.config.max_pairs_per_slice)
+            max_pairs=self.config.max_pairs_per_slice,
+            deadline=deadline, clock=self.clock)
+        replayed = 0
         for inconsistency in crosscheck.inconsistencies:
             example_key = tuple(sorted(inconsistency.example.items()))
             if example_key in self._reported_examples:
                 continue
-            self._reported_examples.add(example_key)
-            if self.clock() >= deadline and stage.divergences:
+            # Replay at least one fresh model per slice so a solved
+            # inconsistency always makes progress, then respect the slice
+            # deadline; examples not reached stay unreported and come back
+            # from the next slice's re-scan.
+            if replayed and self.clock() >= deadline:
                 break
+            self._reported_examples.add(example_key)
             self._replay_assignment(dict(inconsistency.example), "symbex", stage)
+            replayed += 1
 
     def _run_replay_slice(self, stage: StageStats, deadline: float) -> None:
         if not self._corpus_loaded:

@@ -153,6 +153,35 @@ def test_max_pairs_zero_queries_nothing():
     assert report.inconsistency_count == 0
 
 
+def test_deadline_truncates_the_pair_scan():
+    grouped_a = _synthetic_grouped("a", [1, 2, 3], "a-out")
+    grouped_b = _synthetic_grouped("b", [1, 2, 3], "b-out")
+
+    class TickClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            self.now += 1.0
+            return self.now
+
+    # Deadline already expired at the first read: no query runs.
+    expired = find_inconsistencies(grouped_a, grouped_b, deadline=0.0,
+                                   clock=TickClock())
+    assert expired.queries == 0
+    assert expired.truncated is True
+    # Deadline after a few ticks: the scan stops partway, flagged truncated,
+    # instead of solving all 9 candidate pairs.
+    partial = find_inconsistencies(grouped_a, grouped_b, deadline=3.5,
+                                   clock=TickClock())
+    assert partial.truncated is True
+    assert 0 < partial.queries < 9
+    # No deadline: the injected clock is never consulted.
+    full = find_inconsistencies(grouped_a, grouped_b)
+    assert full.queries == 9
+    assert full.truncated is False
+
+
 # ---------------------------------------------------------------------------
 # Equivalence with the legacy path on the seed catalog
 # ---------------------------------------------------------------------------

@@ -223,6 +223,21 @@ def test_scheduler_slice_accounting_under_fake_clock():
     assert fuzz.time_spent > 0
 
 
+def test_symbex_slice_respects_the_wall_clock_budget():
+    # Regression: the symbex slice's crosscheck used to run the whole pair
+    # matrix unbounded, so one slice could blow far past the global budget
+    # (observed 5-7s of a 6s hunt), starving every other stage.  The scan is
+    # now deadline-bounded, so the hunt must end close to its budget even
+    # though packet_out exploration alone would happily run much longer.
+    config = HybridConfig(budget=1.5, slice_time=0.25, seed=0,
+                          stages=("symbex",))
+    report = HybridHunt("packet_out", "reference", "modified",
+                        config=config).run()
+    assert report.stats.wall_time < config.budget * 1.5
+    symbex = report.stats.stages["symbex"]
+    assert symbex.slices >= 2  # preemption: budget spread over several slices
+
+
 def test_scheduler_max_slices_caps_the_hunt():
     clock = FakeClock(tick=0.0)          # frozen clock: budget never expires
     config = HybridConfig(budget=1.0, slice_time=0.2, seed=2,
