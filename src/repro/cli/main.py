@@ -18,6 +18,7 @@ commands::
     soft oftest --agent ovs         # the manual baseline suite
     soft fuzz --agent-a reference --agent-b ovs --iterations 200
     soft lint                       # static analysis over the repro stack
+    soft bench --suite eval,explore # benchmarks vs committed baselines
 """
 
 from __future__ import annotations
@@ -42,6 +43,17 @@ from repro.hybrid.scheduler import ALL_STAGES, HybridConfig, HybridHunt
 from repro.symbex.strategies import strategy_names
 
 __all__ = ["main", "build_parser"]
+
+#: ``soft bench`` suites: name -> (pytest file, JSON trajectory point).
+BENCH_SUITES = {
+    "explore": ("benchmarks/test_exploration.py", "BENCH_explore.json"),
+    "crosscheck": ("benchmarks/test_incremental_crosscheck.py",
+                   "BENCH_crosscheck.json"),
+    "solver": ("benchmarks/test_solver_core.py", "BENCH_solver.json"),
+    "triage": ("benchmarks/test_triage_corpus.py", "BENCH_triage.json"),
+    "hybrid": ("benchmarks/test_hybrid_hunt.py", "BENCH_hybrid.json"),
+    "eval": ("benchmarks/test_eval_core.py", "BENCH_eval.json"),
+}
 
 
 def _split_csv(value: str) -> List[str]:
@@ -75,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="split this exploration's frontier across N thread "
                               "engines (GIL-bound: bounds per-engine state, not a "
                               "CPU speedup; see campaign --executor process)")
+    explore.add_argument("--profile", nargs="?", const=25, type=int, default=None,
+                         metavar="N",
+                         help="profile the exploration with cProfile and print "
+                              "the top N functions by cumulative time "
+                              "(default N: 25)")
     explore.add_argument("--save", metavar="FILE",
                          help="save the Phase-1 artifact (vendor exchange format) as JSON")
     explore.add_argument("--load", metavar="FILE",
@@ -203,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--corpus", metavar="DIR",
                       help="load historical witnesses from DIR and persist new "
                            "confirmed clusters back into it")
+    hunt.add_argument("--profile", nargs="?", const=25, type=int, default=None,
+                      metavar="N",
+                      help="profile the hunt with cProfile and print the top N "
+                           "functions by cumulative time (default N: 25)")
     hunt.add_argument("--json", metavar="FILE", dest="json_out",
                       help="write the machine-readable hunt report to FILE ('-' = stdout)")
     hunt.add_argument("--quiet", action="store_true",
@@ -223,7 +244,45 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--quiet", action="store_true",
                       help="suppress the human-readable table")
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and compare against the committed "
+             "BENCH_*.json baselines; non-zero exit on a >threshold regression")
+    bench.add_argument("--suite", default="all",
+                       help="comma-separated benchmark subset (%s) or 'all'"
+                            % ",".join(sorted(BENCH_SUITES)))
+    bench.add_argument("--threshold", type=float, default=0.20,
+                       help="relative regression that fails the comparison "
+                            "(default: 0.20)")
+    bench.add_argument("--keep-json", action="store_true",
+                       help="keep the freshly generated BENCH_*.json files in "
+                            "the repo root instead of restoring the committed "
+                            "baselines afterwards")
+
     return parser
+
+
+def _run_profiled(top: int, fn):
+    """Run *fn* under cProfile, printing the top-N cumulative-time functions.
+
+    The profile goes to stderr so ``--json -`` output on stdout stays
+    machine-parseable.
+    """
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        print("\n-- cProfile: top %d functions by cumulative time --" % top,
+              file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        stats.print_stats(top)
 
 
 def _cmd_list_tests() -> int:
@@ -272,8 +331,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print("error: --agent and --test are required unless --load is given",
                   file=sys.stderr)
             return 2
-        report = explore_agent(args.agent, args.test, with_coverage=args.coverage,
-                               strategy=args.strategy, workers=args.workers)
+
+        def run_exploration():
+            return explore_agent(args.agent, args.test,
+                                 with_coverage=args.coverage,
+                                 strategy=args.strategy, workers=args.workers)
+
+        if args.profile:
+            report = _run_profiled(args.profile, run_exploration)
+        else:
+            report = run_exploration()
     grouped = group_paths(report)
     _print_exploration_summary(report, grouped)
     if args.save:
@@ -466,7 +533,11 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
                           minimize=not args.no_minimize,
                           mined_constants=args.mine_constants,
                           corpus_dir=args.corpus)
-    report = HybridHunt(args.test, args.agent_a, args.agent_b, config=config).run()
+    hunt = HybridHunt(args.test, args.agent_a, args.agent_b, config=config)
+    if args.profile:
+        report = _run_profiled(args.profile, hunt.run)
+    else:
+        report = hunt.run()
     if not args.quiet:
         print(report.describe())
     if args.json_out:
@@ -503,6 +574,91 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _find_bench_root() -> Optional[str]:
+    """Locate the repo checkout holding benchmarks/ and the committed baselines.
+
+    Tries the working directory first (the common case: running ``soft bench``
+    from a checkout), then the source tree the installed package came from.
+    """
+
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__))))
+    for root in (os.getcwd(), package_root):
+        if os.path.isfile(os.path.join(root, "benchmarks", "compare_bench.py")):
+            return root
+    return None
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import shutil
+    import subprocess
+    import tempfile
+
+    root = _find_bench_root()
+    if root is None:
+        print("error: cannot find a repo checkout with benchmarks/ "
+              "(run soft bench from the repository root)", file=sys.stderr)
+        return 2
+
+    names = _split_csv(args.suite) or ["all"]
+    if names == ["all"]:
+        names = sorted(BENCH_SUITES)
+    unknown = [name for name in names if name not in BENCH_SUITES]
+    if unknown:
+        print("error: unknown benchmark suite(s): %s (valid: %s)"
+              % (", ".join(unknown), ", ".join(sorted(BENCH_SUITES))),
+              file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    extra = [os.path.join(root, "src"), root]
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in extra + [env.get("PYTHONPATH", "")] if path)
+
+    with tempfile.TemporaryDirectory(prefix="soft-bench-") as baseline_dir:
+        committed = sorted(
+            name for name in os.listdir(root)
+            if name.startswith("BENCH_") and name.endswith(".json"))
+        for name in committed:
+            shutil.copy(os.path.join(root, name),
+                        os.path.join(baseline_dir, name))
+
+        failed = []
+        for name in names:
+            test_file, _ = BENCH_SUITES[name]
+            print("== bench: %s (%s) ==" % (name, test_file))
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", "-q", "-s", test_file],
+                cwd=root, env=env)
+            if proc.returncode:
+                failed.append(name)
+
+        compare = subprocess.run(
+            [sys.executable, os.path.join("benchmarks", "compare_bench.py"),
+             baseline_dir, ".", "--threshold", str(args.threshold)],
+            cwd=root, env=env)
+
+        if not args.keep_json:
+            # Put the committed trajectory points back so the working tree
+            # stays clean; fresh JSONs without a committed baseline go away.
+            for name in committed:
+                shutil.copy(os.path.join(baseline_dir, name),
+                            os.path.join(root, name))
+            for name in names:
+                bench_json = BENCH_SUITES[name][1]
+                fresh = os.path.join(root, bench_json)
+                if bench_json not in committed and os.path.exists(fresh):
+                    os.remove(fresh)
+
+    if failed:
+        print("error: benchmark suite(s) failed: %s" % ", ".join(failed),
+              file=sys.stderr)
+        return 1
+    return compare.returncode
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
 
@@ -536,6 +692,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_hunt(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except (ArtifactError, CampaignError, CorpusError, WitnessError) as exc:
         print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2

@@ -149,6 +149,12 @@ class WitnessCorpus:
 
     def __init__(self, directory: str, create: bool = True) -> None:
         self.directory = str(directory)
+        # Parsed-bundle cache keyed by path; entries are validated against
+        # the file's (mtime, size) stamp so an on-disk change (re-add, manual
+        # edit) is picked up and a stale parse is never replayed.  Replay
+        # only *reads* witnesses, so sharing the parsed object across rounds
+        # is safe — repeated ``run()`` calls skip JSON parsing entirely.
+        self._bundle_cache: Dict[str, Tuple[Tuple[float, int], Witness]] = {}
         if create:
             try:
                 os.makedirs(self.directory, exist_ok=True)
@@ -188,12 +194,12 @@ class WitnessCorpus:
         smaller (so repeated campaigns monotonically improve the corpus).
         """
 
-        from repro.core.artifacts import load_witness_bundle, save_witness_bundle
+        from repro.core.artifacts import save_witness_bundle
 
         path = self.path_for(witness)
         if os.path.exists(path) and not overwrite:
             try:
-                existing = load_witness_bundle(path)
+                existing = self._load_bundle(path)
             except (ReproError, ValueError, KeyError, TypeError):
                 existing = None  # unreadable bundle: replace it
             if existing is not None and existing.size_key() <= witness.size_key():
@@ -214,12 +220,29 @@ class WitnessCorpus:
             written += 1 if added else 0
         return written
 
-    def load(self) -> List[Witness]:
-        """Load every stored bundle (sorted by filename for determinism)."""
+    def _load_bundle(self, path: str) -> Witness:
+        """Load one bundle through the (mtime, size)-validated cache."""
 
         from repro.core.artifacts import load_witness_bundle
 
-        return [load_witness_bundle(path) for path in self.paths()]
+        try:
+            stat = os.stat(path)
+            stamp: Optional[Tuple[float, int]] = (stat.st_mtime, stat.st_size)
+        except OSError:
+            stamp = None
+        if stamp is not None:
+            cached = self._bundle_cache.get(path)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+        witness = load_witness_bundle(path)
+        if stamp is not None:
+            self._bundle_cache[path] = (stamp, witness)
+        return witness
+
+    def load(self) -> List[Witness]:
+        """Load every stored bundle (sorted by filename for determinism)."""
+
+        return [self._load_bundle(path) for path in self.paths()]
 
     # ------------------------------------------------------------------
     # Solver-free regression replay
@@ -246,11 +269,9 @@ class WitnessCorpus:
 
     def _run_one(self, path: str, factory: AgentFactory,
                  registry_factory: bool) -> CorpusEntryResult:
-        from repro.core.artifacts import load_witness_bundle
-
         entry_started = time.perf_counter()
         try:
-            witness = load_witness_bundle(path)
+            witness = self._load_bundle(path)
         except (ReproError, ValueError, KeyError, TypeError) as exc:
             return CorpusEntryResult(path=path, test_key="?", agent_a="?", agent_b="?",
                                      status="error", detail="unreadable bundle: %s" % exc)

@@ -29,8 +29,8 @@ from repro.core.trace import OutputTrace
 from repro.errors import ReplayMismatchError
 from repro.harness.driver import ConcreteRunResult, run_concrete_sequence
 from repro.harness.inputs import ControlMessageInput, ProbeInput
-from repro.symbex.expr import BVExpr, collect_variables
-from repro.symbex.simplify import evaluate_bv
+from repro.symbex.compile import compile_term
+from repro.symbex.expr import BVExpr
 from repro.symbex.state import PathState
 from repro.wire.buffer import SymBuffer
 
@@ -75,10 +75,14 @@ def _concretize_buffer(buf: SymBuffer, model: Dict[str, int],
         if isinstance(byte, int):
             concrete.write_u8(byte)
         else:
-            for name in collect_variables(byte):
+            # Symbolic bytes over a shared message template compile to the
+            # same handful of cached programs; the program's precomputed
+            # variable list replaces a per-byte tree walk.
+            program = compile_term(byte)
+            for name in program.variables:
                 if name not in model:
                     unbound.add(name)
-            concrete.write_u8(evaluate_bv(byte, model, default=0) & 0xFF)
+            concrete.write_u8(program.run(model, default=0) & 0xFF)
     return concrete
 
 
@@ -131,10 +135,11 @@ def build_testcase(test: Union[str, TestSpec], assignment: Dict[str, int],
         elif isinstance(test_input, ProbeInput):
             port, frame = test_input.build(state)
             if isinstance(port, BVExpr):
-                for name in collect_variables(port):
+                program = compile_term(port)
+                for name in program.variables:
                     if name not in assignment:
                         unbound.add(name)
-                port = evaluate_bv(port, assignment, default=0)
+                port = program.run(assignment, default=0)
             inputs.append(("probe", (port, _concretize_buffer(frame, assignment, unbound))))
     return ConcreteTestCase(
         test_key=spec.key,

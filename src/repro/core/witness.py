@@ -236,10 +236,22 @@ class Witness:
     testcase: ConcreteTestCase
     replay: ReplayOutcome
     signature: DivergenceSignature
-    #: The satisfied crosscheck condition (None for corpus-loaded witnesses).
-    condition: Optional[BoolExpr] = None
+    #: The satisfied crosscheck condition, stored either as an expression
+    #: (in-process witnesses) or as its serialized form (corpus-loaded
+    #: witnesses; deserialized lazily on first ``condition`` access — replay
+    #: never needs it, and parsing it dominated bundle-load time).
+    _condition: Optional[BoolExpr] = field(default=None, repr=False)
+    condition_obj: Optional[object] = field(default=None, repr=False)
     solver_model: Dict[str, int] = field(default_factory=dict)
     minimization: Optional[MinimizationStats] = None
+
+    @property
+    def condition(self) -> Optional[BoolExpr]:
+        """The crosscheck condition (lazily deserialized when corpus-loaded)."""
+
+        if self._condition is None and self.condition_obj is not None:
+            self._condition = bool_expr_from_obj(self.condition_obj)
+        return self._condition
 
     @property
     def confirmed(self) -> bool:
@@ -310,8 +322,11 @@ class Witness:
             "inputs_consumed_a": self.replay.run_a.inputs_consumed,
             "inputs_consumed_b": self.replay.run_b.inputs_consumed,
             "signature": self.signature.to_obj(),
-            "condition": (expr_to_obj(self.condition)
-                          if self.condition is not None else None),
+            # A corpus-loaded witness round-trips its raw condition object
+            # without ever deserializing it.
+            "condition": (self.condition_obj if self.condition_obj is not None
+                          else (expr_to_obj(self._condition)
+                                if self._condition is not None else None)),
             "minimization": (self.minimization.to_dict()
                              if self.minimization is not None else None),
         }
@@ -358,8 +373,7 @@ class Witness:
                 testcase=testcase,
                 replay=ReplayOutcome(testcase=testcase, run_a=run_a, run_b=run_b),
                 signature=DivergenceSignature.from_obj(data["signature"]),
-                condition=(bool_expr_from_obj(condition_obj)
-                           if condition_obj is not None else None),
+                condition_obj=condition_obj,
                 solver_model=model_from_obj(data.get("solver_model", {})),
                 minimization=(MinimizationStats.from_dict(minimization_obj)
                               if minimization_obj is not None else None),
@@ -394,7 +408,7 @@ def build_witness(spec: TestSpec, inconsistency: Inconsistency,
         testcase=testcase,
         replay=replay,
         signature=signature,
-        condition=inconsistency.condition,
+        _condition=inconsistency.condition,
         solver_model=dict(inconsistency.example),
     )
 
@@ -521,7 +535,8 @@ def minimize_witness(witness: Witness, spec: TestSpec, replayer: Replayer,
         testcase=best_testcase,
         replay=best_replay,
         signature=signature,
-        condition=witness.condition,
+        _condition=witness._condition,
+        condition_obj=witness.condition_obj,
         solver_model=dict(witness.solver_model),
         minimization=stats,
     )

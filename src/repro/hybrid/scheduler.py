@@ -74,7 +74,7 @@ from repro.hybrid.seeds import Seed, SeedPool
 from repro.symbex.concolic import ConcolicExecutor
 from repro.symbex.engine import Engine, EngineConfig, ExplorationResult
 from repro.symbex.expr import reset_branch_hook, set_branch_hook
-from repro.symbex.simplify import evaluate_bool
+from repro.symbex.compile import evaluate_compiled_bool
 from repro.symbex.solver import Solver, SolverConfig
 from repro.symbex.state import PathState
 
@@ -270,7 +270,7 @@ def discover_symbols(spec: TestSpec) -> Dict[str, int]:
     """
 
     state = PathState(path_id=-1)
-    previous = set_branch_hook(lambda cond: evaluate_bool(cond, {}, default=0))
+    previous = set_branch_hook(lambda cond: evaluate_compiled_bool(cond, {}, default=0))
     try:
         for test_input in spec.inputs:
             test_input.build(state)

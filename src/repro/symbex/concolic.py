@@ -42,7 +42,8 @@ from repro.symbex.expr import (
     reset_branch_hook,
     set_branch_hook,
 )
-from repro.symbex.simplify import evaluate_bool, evaluate_bv, simplify_bool
+from repro.symbex.compile import evaluate_compiled, evaluate_compiled_bool
+from repro.symbex.simplify import simplify_bool
 from repro.symbex.solver import Solver, SolverConfig
 from repro.symbex.solver.oracle import PrefixOracle
 from repro.symbex.solver.sat import SATStatus
@@ -136,7 +137,7 @@ class _ConcolicEngineShim:
             return value.value
         if isinstance(value, int):
             return value
-        concrete = evaluate_bv(value, self._assignment, default=0)
+        concrete = evaluate_compiled(value, self._assignment, default=0)
         state.condition.add(value == concrete)
         return concrete
 
@@ -188,7 +189,7 @@ class ConcolicExecutor:
             if len(state.decisions) >= self.max_decisions:
                 raise RuntimeError(
                     "concolic replay exceeded %d decisions" % self.max_decisions)
-            outcome = evaluate_bool(reduced, assignment, default=0)
+            outcome = evaluate_compiled_bool(reduced, assignment, default=0)
             branches.append(ConcolicBranch(
                 index=len(state.decisions),
                 condition=reduced,

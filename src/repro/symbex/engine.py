@@ -52,9 +52,10 @@ from repro.symbex.expr import (
     bool_not,
     set_branch_hook,
 )
+from repro.symbex.compile import compiled_cache_stats, evaluate_compiled
 from repro.symbex.simplify import simplify_bool, simplify_cache_stats
 from repro.symbex.solver import SatResult, Solver, SolverConfig, merge_stat_dicts
-from repro.symbex.solver.oracle import PrefixOracle
+from repro.symbex.solver.oracle import PrefixNode, PrefixOracle
 from repro.symbex.solver.sat import SATStatus
 from repro.symbex.state import PathCondition, PathState
 from repro.symbex.strategies import Prefix, SearchStrategy, make_strategy
@@ -180,6 +181,13 @@ class ExplorationStats:
     simplify_cache_misses: int = 0
     #: Size of the global simplify memo when the exploration finished (gauge).
     simplify_cache_size: int = 0
+    #: Global compiled-evaluation memo activity (per-run deltas, same
+    #: process-wide caveat as the simplify counters; see symbex/compile.py).
+    compiled_cache_hits: int = 0
+    compiled_cache_misses: int = 0
+    compiled_cache_evictions: int = 0
+    #: Size of the global compile memo when the exploration finished (gauge).
+    compiled_cache_size: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -198,6 +206,10 @@ class ExplorationStats:
             "simplify_cache_hits": self.simplify_cache_hits,
             "simplify_cache_misses": self.simplify_cache_misses,
             "simplify_cache_size": self.simplify_cache_size,
+            "compiled_cache_hits": self.compiled_cache_hits,
+            "compiled_cache_misses": self.compiled_cache_misses,
+            "compiled_cache_evictions": self.compiled_cache_evictions,
+            "compiled_cache_size": self.compiled_cache_size,
         }
 
 
@@ -285,8 +297,9 @@ class Engine:
         self._frontier: Optional[SearchStrategy] = None
         self._stats = ExplorationStats()
         self._deadline: Optional[float] = None
-        # Literal mirror of the current path condition (oracle mode).
-        self._path_lits: List[int] = []
+        # Prefix-trie node mirroring the current path condition (oracle
+        # mode): each decision extends the node by one literal delta.
+        self._path_node: Optional[PrefixNode] = None
         self._synced_constraints = 0
 
     @property
@@ -338,6 +351,7 @@ class Engine:
         solver_queries_before = self.solver.stats.queries
         solver_stats_before = self.solver.stats.as_dict()
         simplify_before = simplify_cache_stats()
+        compiled_before = compiled_cache_stats()
         oracle = self.oracle
         oracle_solves_before = oracle.stats.assumption_solves if oracle else 0
         oracle_stats_before = oracle.stats_dict() if oracle else {}
@@ -389,6 +403,14 @@ class Engine:
         self._stats.simplify_cache_misses = int(
             simplify_after["misses"] - simplify_before["misses"])
         self._stats.simplify_cache_size = int(simplify_after["size"])
+        compiled_after = compiled_cache_stats()
+        self._stats.compiled_cache_hits = int(
+            compiled_after["hits"] - compiled_before["hits"])
+        self._stats.compiled_cache_misses = int(
+            compiled_after["misses"] - compiled_before["misses"])
+        self._stats.compiled_cache_evictions = int(
+            compiled_after["evictions"] - compiled_before["evictions"])
+        self._stats.compiled_cache_size = int(compiled_after["size"])
         concretize_queries = self.solver.stats.queries - solver_queries_before
         self._stats.solver_queries = concretize_queries + (
             oracle.stats.assumption_solves - oracle_solves_before if oracle else 0)
@@ -414,7 +436,8 @@ class Engine:
 
     #: solver_stats entries that describe instance *state*, not per-run work;
     #: they stay absolute when the snapshot is converted to per-run deltas.
-    _STATS_GAUGES = ("sat_variables", "sat_clauses", "max_query_time")
+    _STATS_GAUGES = ("sat_variables", "sat_clauses", "max_query_time",
+                     "model_pool_size")
 
     def _solver_stats_snapshot(self, concretize_queries: int,
                                before: Dict[str, float]) -> Dict[str, float]:
@@ -446,7 +469,7 @@ class Engine:
         state._engine = self
         self._current_state = state
         self._current_prefix = prefix
-        self._path_lits = []
+        self._path_node = self._oracle.root() if self._oracle is not None else None
         self._synced_constraints = 0
         error: Optional[str] = None
         result: Any = None
@@ -506,32 +529,37 @@ class Engine:
     def _commit_decision(self, state: PathState, condition: BoolExpr,
                          outcome: bool) -> None:
         if self._oracle is not None:
-            # Mirror the branch in the literal prefix.  The branch literal is
+            # Mirror the branch in the prefix trie.  The branch literal is
             # a full equivalence, so the False side is its negation — no
-            # second encoding of the negated constraint.
-            self._sync_path_lits(state)
+            # second encoding of the negated constraint; extending the node
+            # is a one-literal delta on the parent prefix.
+            self._sync_path_node(state)
             lit = self._oracle.literal(condition)
-            self._path_lits.append(lit if outcome else -lit)
+            self._path_node = self._oracle.extend(
+                self._path_node, lit if outcome else -lit)
         state.decisions.append(outcome)
         state.condition.add(condition if outcome else bool_not(condition))
         if self._oracle is not None:
             self._synced_constraints = len(state.condition)
         self._stats.decisions += 1
 
-    def _sync_path_lits(self, state: PathState) -> None:
+    def _sync_path_node(self, state: PathState) -> None:
         """Encode constraints added outside branching (assume/concretize)."""
 
         for constraint in state.condition.since(self._synced_constraints):
-            self._path_lits.append(self._oracle.literal(constraint))
+            self._path_node = self._oracle.extend(
+                self._path_node, self._oracle.literal(constraint))
         self._synced_constraints = len(state.condition)
 
     def _decide_with_oracle(self, state: PathState, condition: BoolExpr) -> bool:
-        self._sync_path_lits(state)
-        lit = self._oracle.literal(condition)
-        if self._oracle_check(self._path_lits + [lit]) == SATStatus.UNSAT:
+        self._sync_path_node(state)
+        oracle = self._oracle
+        lit = oracle.literal(condition)
+        node = self._path_node
+        if self._oracle_check(oracle.extend(node, lit)) == SATStatus.UNSAT:
             self._stats.forced_decisions += 1
             return False
-        if self._oracle_check(self._path_lits + [-lit]) == SATStatus.UNSAT:
+        if self._oracle_check(oracle.extend(node, -lit)) == SATStatus.UNSAT:
             self._stats.forced_decisions += 1
             return True
         # Both sides feasible: take True now, schedule False for later.
@@ -539,8 +567,8 @@ class Engine:
         self._frontier.push(tuple(state.decisions) + (False,))
         return True
 
-    def _oracle_check(self, literals: List[int]) -> str:
-        status = self._oracle.check_prefix(literals)
+    def _oracle_check(self, node: "PrefixNode") -> str:
+        status = self._oracle.check_node(node)
         if status == SATStatus.UNKNOWN:
             raise SolverError(
                 "solver gave up while checking branch feasibility; raise the "
@@ -598,9 +626,7 @@ class Engine:
         result = self.solver.check(constraints)
         if not result.is_sat:
             raise EngineError("current path condition is unsatisfiable during concretization")
-        from repro.symbex.simplify import evaluate_bv
-
-        concrete = evaluate_bv(value, result.model, default=0)
+        concrete = evaluate_compiled(value, result.model, default=0)
         state.condition.add(value == concrete)
         return concrete
 
@@ -739,6 +765,11 @@ def _merge_results(results: Sequence[ExplorationResult], leftover: List[Prefix],
         stats.simplify_cache_misses += part.simplify_cache_misses
         stats.simplify_cache_size = max(stats.simplify_cache_size,
                                         part.simplify_cache_size)
+        stats.compiled_cache_hits += part.compiled_cache_hits
+        stats.compiled_cache_misses += part.compiled_cache_misses
+        stats.compiled_cache_evictions += part.compiled_cache_evictions
+        stats.compiled_cache_size = max(stats.compiled_cache_size,
+                                        part.compiled_cache_size)
         if part.truncated:
             stats.truncated = True
             if stats.truncation_reason is None:

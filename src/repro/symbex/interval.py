@@ -33,9 +33,8 @@ from repro.symbex.expr import (
     BVVar,
     BVZeroExt,
     BVExtract,
-    collect_variables,
 )
-from repro.symbex.simplify import evaluate_bool
+from repro.symbex.compile import compile_term
 
 __all__ = ["IntervalDomain", "IntervalOutcome", "analyze_conjunction"]
 
@@ -194,6 +193,10 @@ class IntervalDomain:
     def has_unsupported_atoms(self) -> bool:
         return bool(self._unsupported)
 
+    @property
+    def unsupported_atoms(self) -> List[BoolExpr]:
+        return self._unsupported
+
 
 def _negate_cmp(atom: BVCmp) -> BVCmp:
     flipped = {"eq": "ne", "ne": "eq"}
@@ -229,8 +232,12 @@ def _normalize(atom: BVCmp) -> Tuple[Optional[BVExpr], int, str]:
 
 
 def _apply(domain: _VarDomain, op: str, value: int) -> bool:
-    maximum = (1 << domain.width) - 1
-    value = value & maximum
+    # The constant is NOT masked to the variable's width: comparisons that
+    # reach here through a stripped zero-extension can carry a constant wider
+    # than the variable, and the unmasked semantics are exactly right —
+    # ``x == big`` empties the interval, ``x != big`` excludes an unreachable
+    # point, ``x < big`` is a no-op bound.  This is what makes every
+    # *supported* atom satisfied-by-construction by ``candidate_model``.
     if op == "eq":
         domain.constrain_low(value)
         domain.constrain_high(value)
@@ -277,16 +284,25 @@ def analyze_conjunction(atoms: Iterable[BoolExpr]) -> IntervalOutcome:
     if candidate is None:
         return IntervalOutcome(IntervalOutcome.UNKNOWN)
 
-    # Bind every variable that occurs anywhere in the conjunction; variables
-    # untouched by interval facts default to zero.
-    all_vars: Dict[str, int] = {}
-    for atom in atoms:
-        for name in collect_variables(atom):
-            all_vars.setdefault(name, 0)
-    all_vars.update(candidate)
+    # Every *supported* atom is satisfied by construction: ``pick`` honours
+    # the interval bounds, the excluded points and the forced bit fields that
+    # are exactly the facts those atoms contributed (``_apply`` keeps the
+    # constants unmasked, so out-of-range comparisons empty the interval
+    # instead of aliasing).  Only unsupported atoms need concrete
+    # verification — their free variables are bound (default zero) from the
+    # compiled programs' precomputed variable lists.
+    unsupported = domain.unsupported_atoms
+    if not unsupported:
+        return IntervalOutcome(IntervalOutcome.UNKNOWN, candidate=candidate,
+                               verified=True)
 
+    all_vars: Dict[str, int] = dict(candidate)
+    programs = [compile_term(atom) for atom in unsupported]
+    for program in programs:
+        for name in program.variables:
+            all_vars.setdefault(name, 0)
     try:
-        satisfied = all(evaluate_bool(atom, all_vars) for atom in atoms)
+        satisfied = all(program.run_bool(all_vars) for program in programs)
     except (ReproError, ArithmeticError):  # pragma: no cover - defensive; evaluation never raises on closed terms
         satisfied = False
     return IntervalOutcome(IntervalOutcome.UNKNOWN, candidate=all_vars, verified=satisfied)

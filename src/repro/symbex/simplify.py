@@ -290,65 +290,126 @@ def evaluate_bv(expr: BVExpr, assignment: Assignment,
     """Evaluate *expr* to a Python int under *assignment* (name -> int).
 
     Unbound variables take *default* when given, otherwise evaluation fails.
+
+    This is the interpreted fallback; hot loops should prefer
+    :func:`repro.symbex.compile.evaluate_compiled` (same semantics, one
+    compile per distinct term).  The interpreter itself dispatches through a
+    module-level handler table — no closures are allocated per call; the
+    only per-call state is the ``id``-keyed memo dict threaded through the
+    recursion (interned nodes are canonical and the tree under *expr* stays
+    alive for the duration of the evaluation).
     """
 
-    # Keyed on identity: interned nodes are canonical and the tree under
-    # *expr* stays alive for the duration of the evaluation.
-    cache: Dict[int, int] = {}
+    return _eval(expr, assignment, default, {})
 
-    def run(node: Expr) -> int:
-        key = id(node)
-        if key in cache:
-            return cache[key]
-        value = run_uncached(node)
+
+def _eval(node: Expr, assignment: Assignment, default, cache: Dict[int, int]) -> int:
+    key = id(node)
+    value = cache.get(key)
+    if value is None:
+        handler = _EVAL_HANDLERS.get(type(node))
+        if handler is None:
+            raise ExpressionError("cannot evaluate unknown node %r" % (node,))
+        value = handler(node, assignment, default, cache)
         cache[key] = value
-        return value
+    return value
 
-    def run_bool(node: BoolExpr) -> bool:
-        return bool(run(node))
 
-    def run_uncached(node: Expr) -> int:
-        if isinstance(node, BVConst):
-            return node.value
-        if isinstance(node, BVVar):
-            if node.name in assignment:
-                return _mask(assignment[node.name], node.width)
-            if default is not None:
-                return _mask(default, node.width)
-            raise ExpressionError("no binding for variable %r during evaluation" % (node.name,))
-        if isinstance(node, BVBinOp):
-            lhs, rhs = run(node.lhs), run(node.rhs)
-            return _eval_binop(node.op, lhs, rhs, node.width)
-        if isinstance(node, BVUnOp):
-            operand = run(node.operand)
-            return _mask(~operand if node.op == "not" else -operand, node.width)
-        if isinstance(node, BVExtract):
-            return _mask(run(node.operand) >> node.low, node.width)
-        if isinstance(node, BVConcat):
-            value = 0
-            for part in node.parts:
-                value = (value << part.width) | run(part)
-            return value
-        if isinstance(node, BVZeroExt):
-            return run(node.operand)
-        if isinstance(node, BVSignExt):
-            return _mask(_signed(run(node.operand), node.operand.width), node.width)
-        if isinstance(node, BVIte):
-            return run(node.then) if run_bool(node.cond) else run(node.otherwise)
-        if isinstance(node, BoolConst):
-            return int(node.value)
-        if isinstance(node, BoolNot):
-            return int(not run_bool(node.operand))
-        if isinstance(node, BoolAnd):
-            return int(all(run_bool(o) for o in node.operands))
-        if isinstance(node, BoolOr):
-            return int(any(run_bool(o) for o in node.operands))
-        if isinstance(node, BVCmp):
-            lhs, rhs = run(node.lhs), run(node.rhs)
-            return int(_eval_cmp(node.op, lhs, rhs, node.lhs.width))
-        raise ExpressionError("cannot evaluate unknown node %r" % (node,))
+def _eval_const(node, assignment, default, cache):
+    return node.value
 
-    return run(expr)
+
+def _eval_bool_const(node, assignment, default, cache):
+    return int(node.value)
+
+
+def _eval_var(node, assignment, default, cache):
+    if node.name in assignment:
+        return _mask(assignment[node.name], node.width)
+    if default is not None:
+        return _mask(default, node.width)
+    raise ExpressionError("no binding for variable %r during evaluation" % (node.name,))
+
+
+def _eval_binop_node(node, assignment, default, cache):
+    return _eval_binop(node.op, _eval(node.lhs, assignment, default, cache),
+                       _eval(node.rhs, assignment, default, cache), node.width)
+
+
+def _eval_unop_node(node, assignment, default, cache):
+    operand = _eval(node.operand, assignment, default, cache)
+    return _mask(~operand if node.op == "not" else -operand, node.width)
+
+
+def _eval_extract(node, assignment, default, cache):
+    return _mask(_eval(node.operand, assignment, default, cache) >> node.low,
+                 node.width)
+
+
+def _eval_concat(node, assignment, default, cache):
+    value = 0
+    for part in node.parts:
+        value = (value << part.width) | _eval(part, assignment, default, cache)
+    return value
+
+
+def _eval_zero_ext(node, assignment, default, cache):
+    return _eval(node.operand, assignment, default, cache)
+
+
+def _eval_sign_ext(node, assignment, default, cache):
+    return _mask(_signed(_eval(node.operand, assignment, default, cache),
+                         node.operand.width), node.width)
+
+
+def _eval_ite(node, assignment, default, cache):
+    if _eval(node.cond, assignment, default, cache):
+        return _eval(node.then, assignment, default, cache)
+    return _eval(node.otherwise, assignment, default, cache)
+
+
+def _eval_cmp_node(node, assignment, default, cache):
+    return int(_eval_cmp(node.op, _eval(node.lhs, assignment, default, cache),
+                         _eval(node.rhs, assignment, default, cache),
+                         node.lhs.width))
+
+
+def _eval_bool_not(node, assignment, default, cache):
+    return 0 if _eval(node.operand, assignment, default, cache) else 1
+
+
+def _eval_bool_and(node, assignment, default, cache):
+    for operand in node.operands:
+        if not _eval(operand, assignment, default, cache):
+            return 0
+    return 1
+
+
+def _eval_bool_or(node, assignment, default, cache):
+    for operand in node.operands:
+        if _eval(operand, assignment, default, cache):
+            return 1
+    return 0
+
+
+#: Per-type handlers, resolved once at import: replaces the former per-call
+#: nested closures + isinstance ladder with one dict lookup per node.
+_EVAL_HANDLERS = {
+    BVConst: _eval_const,
+    BVVar: _eval_var,
+    BVBinOp: _eval_binop_node,
+    BVUnOp: _eval_unop_node,
+    BVExtract: _eval_extract,
+    BVConcat: _eval_concat,
+    BVZeroExt: _eval_zero_ext,
+    BVSignExt: _eval_sign_ext,
+    BVIte: _eval_ite,
+    BVCmp: _eval_cmp_node,
+    BoolConst: _eval_bool_const,
+    BoolNot: _eval_bool_not,
+    BoolAnd: _eval_bool_and,
+    BoolOr: _eval_bool_or,
+}
 
 
 def _eval_binop(op: str, lhs: int, rhs: int, width: int) -> int:

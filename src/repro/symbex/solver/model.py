@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping
 
 from repro.errors import SolverError
-from repro.symbex.expr import BoolExpr, collect_variables
-from repro.symbex.simplify import evaluate_bool
+from repro.symbex.compile import compile_term
+from repro.symbex.expr import BoolExpr
 from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.sat import SATSolver
 
@@ -49,7 +49,10 @@ def complete_model(model: Mapping[str, int], constraints: Iterable[BoolExpr],
 
     completed = dict(model)
     for constraint in constraints:
-        for name in collect_variables(constraint):
+        # The compiled program's variable list is precomputed once per
+        # distinct term (hash-consing makes the cache hit free), so this
+        # avoids a full tree walk per constraint per model.
+        for name in compile_term(constraint).variables:
             completed.setdefault(name, default)
     return completed
 
@@ -59,7 +62,8 @@ def verify_model(model: Mapping[str, int], constraints: Iterable[BoolExpr]) -> b
 
     constraints = list(constraints)
     completed = complete_model(model, constraints)
-    return all(evaluate_bool(constraint, completed) for constraint in constraints)
+    return all(compile_term(constraint).run_bool(completed)
+               for constraint in constraints)
 
 
 def require_verified(model: Mapping[str, int], constraints: Iterable[BoolExpr]) -> Dict[str, int]:
@@ -68,7 +72,7 @@ def require_verified(model: Mapping[str, int], constraints: Iterable[BoolExpr]) 
     constraints = list(constraints)
     completed = complete_model(model, constraints)
     for constraint in constraints:
-        if not evaluate_bool(constraint, completed):
+        if not compile_term(constraint).run_bool(completed):
             raise SolverError(
                 "solver returned a model that does not satisfy %r — this is a bug "
                 "in the decision procedure" % (constraint,)

@@ -18,16 +18,37 @@ then just a set of literals, and its feasibility one
 ``solve(assumptions=prefix)`` call that reuses the shared bit-blasting
 structure and all learned clauses.
 
-Two layers short-circuit the backend entirely:
+Four layers short-circuit the backend entirely:
 
+* a **prefix trie of bitblast deltas** — paths are nodes; a child path that
+  extends a parent prefix by one decision reuses the parent's encoded
+  literal set and ordered assumption list and only adds the suffix literal
+  (``extend``), instead of re-walking and re-hashing the shared conditions
+  per check.  Each node caches its feasibility verdict, so re-asking about
+  common ancestry (including the very common "program re-branches on an
+  already-decided condition" pattern) is a pointer hop; ``delta_hits``
+  counts reused nodes.
 * a **trivial check** — a prefix containing the false literal or a
-  complementary pair is UNSAT without solving;
-* a **prefix cache** keyed on the literal *set*, shared across all paths of
-  the exploration, so re-asking about common ancestry (including the very
-  common "program re-branches on an already-decided condition" pattern,
-  whose literal is already in the prefix) is a dictionary hit.
+  complementary pair is UNSAT without solving (detected in O(1) at node
+  creation against the parent's set);
+* a **model-witness pool** — every model the backend produces is extracted
+  once and kept in a bounded MRU pool.  A prefix is proven SAT without the
+  backend when some pooled model satisfies every assumption literal, which
+  is checked by *compiled concrete evaluation* of each literal's source
+  condition (:mod:`repro.symbex.compile`), memoized per (model, literal).
+  Any extension of a pooled model is a genuine witness, so a hit answers
+  exactly what the backend would answer.  When no pooled model fits, the
+  freshest one is *repaired* (inputs of failing atomic literals patched and
+  the whole prefix re-verified) before giving up.
+* a **word-level interval pre-filter** — the unsigned-interval domain of
+  :mod:`repro.symbex.interval` runs over the prefix's source conditions;
+  only its two sound outcomes short-circuit (a proven-empty domain is
+  UNSAT, a concretely *verified* candidate model is SAT and joins the
+  pool), so verdicts — and the explored path set — stay bit-identical to
+  the pool-free oracle (the exploration benchmark asserts this equivalence
+  against the legacy engine).
 
-The oracle decides feasibility only; it never extracts models.
+The oracle decides feasibility only; it never *returns* models.
 Concretization keeps using the engine's legacy :class:`Solver` so that the
 model (and therefore the concrete value pinned into the path condition) is
 bit-for-bit identical to the legacy engine's — that is what makes the
@@ -42,14 +63,29 @@ import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.symbex.expr import BoolConst, BoolExpr
+from repro.symbex.compile import compile_term
+from repro.symbex.interval import analyze_conjunction
+from repro.symbex.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVCmp,
+    BVConst,
+    BVExtract,
+    BVVar,
+    BVZeroExt,
+    Expr,
+)
 from repro.symbex.simplify import simplify_bool
 from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.cnf import CNFBuilder
+from repro.symbex.solver.model import extract_model
 from repro.symbex.solver.sat import SATSolver, SATStatus
 from repro.symbex.solver.solver import SolverConfig
 
-__all__ = ["PrefixOracle", "PrefixOracleStats"]
+__all__ = ["PrefixOracle", "PrefixOracleStats", "PrefixNode"]
 
 
 @dataclass
@@ -64,8 +100,24 @@ class PrefixOracleStats:
     branch_checks: int = 0
     #: Checks decided without the backend (false literal / complementary pair).
     trivial_decides: int = 0
-    #: Checks answered from the shared prefix-feasibility cache.
+    #: Checks answered from a node's cached verdict (shared prefix ancestry).
     prefix_cache_hits: int = 0
+    #: Checks proven SAT by a pooled backend model (no solve).
+    model_pool_hits: int = 0
+    #: Checks proven SAT by locally repairing a pooled model (no solve).
+    witness_repairs: int = 0
+    #: Checks that consulted the pool and still needed the backend.
+    model_pool_misses: int = 0
+    #: Checks proven UNSAT by the word-level interval domain (no solve).
+    interval_unsat: int = 0
+    #: Checks proven SAT by a verified interval candidate model (no solve).
+    interval_sat: int = 0
+    #: Models extracted from backend SAT answers into the pool.
+    models_pooled: int = 0
+    #: Prefix-trie nodes created (one per distinct path prefix).
+    prefix_nodes: int = 0
+    #: ``extend`` calls answered by an existing node (per-path delta reuse).
+    delta_hits: int = 0
     #: Checks that reached the backend as an assumption re-solve.
     assumption_solves: int = 0
     sat: int = 0
@@ -81,6 +133,14 @@ class PrefixOracleStats:
             "branch_checks": self.branch_checks,
             "trivial_decides": self.trivial_decides,
             "prefix_cache_hits": self.prefix_cache_hits,
+            "model_pool_hits": self.model_pool_hits,
+            "witness_repairs": self.witness_repairs,
+            "model_pool_misses": self.model_pool_misses,
+            "interval_unsat": self.interval_unsat,
+            "interval_sat": self.interval_sat,
+            "models_pooled": self.models_pooled,
+            "prefix_nodes": self.prefix_nodes,
+            "delta_hits": self.delta_hits,
             "assumption_solves": self.assumption_solves,
             "sat": self.sat,
             "unsat": self.unsat,
@@ -90,8 +150,43 @@ class PrefixOracleStats:
         }
 
 
+class PrefixNode:
+    """One distinct path prefix: parent + one literal, encoded once.
+
+    ``lits`` (the assumption set) and ``ordered`` (first-occurrence order,
+    which the SAT core's assumption-trail reuse wants) are built from the
+    parent by a single-literal delta instead of re-walking the whole path.
+    ``trivial_unsat`` is decided in O(1) at creation.  ``status`` caches the
+    feasibility verdict (UNKNOWN is never cached).
+    """
+
+    __slots__ = ("lits", "ordered", "status", "trivial_unsat", "children")
+
+    def __init__(self, lits: FrozenSet[int], ordered: Tuple[int, ...],
+                 trivial_unsat: bool) -> None:
+        self.lits = lits
+        self.ordered = ordered
+        self.trivial_unsat = trivial_unsat
+        self.status: Optional[str] = None
+        self.children: Dict[int, "PrefixNode"] = {}
+
+
+class _PooledModel:
+    """One extracted backend model plus its memoized literal truth values."""
+
+    __slots__ = ("assignment", "truths")
+
+    def __init__(self, assignment: Dict[str, int]) -> None:
+        self.assignment = assignment
+        #: base SAT var -> whether this model satisfies the *positive* lit.
+        self.truths: Dict[int, bool] = {}
+
+
 class PrefixOracle:
     """Shared incremental encoding of one exploration's branch conditions."""
+
+    #: Bounded MRU pool of extracted backend models.
+    MODEL_POOL_LIMIT = 24
 
     def __init__(self, config: Optional[SolverConfig] = None) -> None:
         self.config = config if config is not None else SolverConfig()
@@ -102,7 +197,15 @@ class PrefixOracle:
         # id-keyed (the expression layer hash-conses terms): entry values
         # carry the condition so its id stays pinned while the entry lives.
         self._literals: Dict[int, Tuple[BoolExpr, int]] = {}
+        # base SAT var -> (simplified condition, its encoded literal); the
+        # reverse map the model pool evaluates assumptions through.
+        self._lit_conditions: Dict[int, Tuple[BoolExpr, int]] = {}
+        self._root = PrefixNode(frozenset(), (), False)
+        # Set-keyed verdicts shared across trie nodes: two orderings of the
+        # same literal set are the same query (node.status is the per-node
+        # fast path in front of this map).
         self._prefix_cache: Dict[FrozenSet[int], str] = {}
+        self._models: List[_PooledModel] = []
 
     # ------------------------------------------------------------------
     # Encoding
@@ -121,33 +224,77 @@ class PrefixOracle:
             lit = self._cnf.const(simplified.value)
         else:
             lit = self._blaster.bool_lit(simplified)
+            self._lit_conditions.setdefault(abs(lit), (simplified, lit))
         self._literals[id(condition)] = (condition, lit)
         self.stats.literals_encoded += 1
         self.stats.encode_time += time.perf_counter() - started
         return lit
 
     # ------------------------------------------------------------------
+    # Prefix trie (per-path deltas)
+    # ------------------------------------------------------------------
+
+    def root(self) -> PrefixNode:
+        """The empty-prefix node every path starts from."""
+
+        return self._root
+
+    def extend(self, node: PrefixNode, lit: int) -> PrefixNode:
+        """The node for *node*'s prefix extended by *lit* (delta-encoded).
+
+        A true literal or a literal already in the prefix leaves the node
+        unchanged; an existing child is reused (``delta_hits``); otherwise
+        one new node is created from the parent by a single-literal delta.
+        """
+
+        if lit == self._cnf.true_lit or lit in node.lits:
+            self.stats.delta_hits += 1
+            return node
+        child = node.children.get(lit)
+        if child is not None:
+            self.stats.delta_hits += 1
+            return child
+        trivial = (node.trivial_unsat or lit == self._cnf.false_lit
+                   or -lit in node.lits)
+        child = PrefixNode(node.lits | {lit}, node.ordered + (lit,), trivial)
+        node.children[lit] = child
+        self.stats.prefix_nodes += 1
+        return child
+
+    # ------------------------------------------------------------------
     # Feasibility
     # ------------------------------------------------------------------
 
     def check_prefix(self, literals: Sequence[int]) -> str:
-        """Satisfiability (a :class:`SATStatus` value) of a literal prefix."""
+        """Satisfiability (a :class:`SATStatus` value) of a literal sequence.
+
+        Convenience wrapper over the node API: walks the trie from the root
+        (every step after the first visit is a delta hit) and checks the
+        final node.
+        """
+
+        node = self._root
+        for lit in literals:
+            node = self.extend(node, lit)
+        return self.check_node(node)
+
+    def check_node(self, node: PrefixNode) -> str:
+        """Satisfiability of one prefix node (cached per node)."""
 
         self.stats.branch_checks += 1
-        true_lit = self._cnf.true_lit
-        assumptions = frozenset(lit for lit in literals if lit != true_lit)
-        if self._cnf.false_lit in assumptions or any(-lit in assumptions
-                                                     for lit in assumptions):
+        if node.trivial_unsat:
             self.stats.trivial_decides += 1
             self.stats.unsat += 1
             return SATStatus.UNSAT
-        if not assumptions:
+        if not node.lits:
             self.stats.trivial_decides += 1
             self.stats.sat += 1
             return SATStatus.SAT
-
         if self.config.use_cache:
-            cached = self._prefix_cache.get(assumptions)
+            cached = node.status
+            if cached is None:
+                cached = self._prefix_cache.get(node.lits)
+                node.status = cached
             if cached is not None:
                 self.stats.prefix_cache_hits += 1
                 if cached == SATStatus.SAT:
@@ -156,18 +303,38 @@ class PrefixOracle:
                     self.stats.unsat += 1
                 return cached
 
+        if self._witness_in_pool(node):
+            self.stats.model_pool_hits += 1
+            self.stats.sat += 1
+            if self.config.use_cache:
+                node.status = SATStatus.SAT
+                self._prefix_cache[node.lits] = SATStatus.SAT
+            return SATStatus.SAT
+        word_level = self._interval_prefilter(node)
+        if word_level is not None:
+            if word_level == SATStatus.SAT:
+                self.stats.interval_sat += 1
+                self.stats.sat += 1
+            else:
+                self.stats.interval_unsat += 1
+                self.stats.unsat += 1
+            if self.config.use_cache:
+                node.status = word_level
+                self._prefix_cache[node.lits] = word_level
+            return word_level
+        if self._repair_witness(node):
+            self.stats.witness_repairs += 1
+            self.stats.sat += 1
+            if self.config.use_cache:
+                node.status = SATStatus.SAT
+                self._prefix_cache[node.lits] = SATStatus.SAT
+            return SATStatus.SAT
+        if self._models:
+            self.stats.model_pool_misses += 1
+
         started = time.perf_counter()
         self.stats.assumption_solves += 1
-        # Path order (first occurrence), not sorted: consecutive feasibility
-        # checks share long decision prefixes, and the SAT core's assumption-
-        # trail reuse turns a shared prefix into zero re-propagation.
-        ordered: List[int] = []
-        seen = set()
-        for lit in literals:
-            if lit != true_lit and lit not in seen:
-                seen.add(lit)
-                ordered.append(lit)
-        status = self._sat.solve(assumptions=ordered,
+        status = self._sat.solve(assumptions=list(node.ordered),
                                  max_conflicts=self.config.max_conflicts)
         self.stats.solve_time += time.perf_counter() - started
         if status == SATStatus.UNKNOWN:
@@ -176,11 +343,129 @@ class PrefixOracle:
             return status
         if status == SATStatus.SAT:
             self.stats.sat += 1
+            self._pool_model()
         else:
             self.stats.unsat += 1
         if self.config.use_cache:
-            self._prefix_cache[assumptions] = status
+            node.status = status
+            self._prefix_cache[node.lits] = status
         return status
+
+    def _interval_prefilter(self, node: PrefixNode) -> Optional[str]:
+        """Sound word-level verdict for *node*, or ``None`` for "ask the SAT core".
+
+        Reconstructs the conjunction of source conditions behind the
+        assumption literals (negative assumptions become ``BoolNot``) and
+        runs the unsigned-interval domain over it.  Only the two *sound*
+        outcomes short-circuit: a proven-empty variable domain is UNSAT, and
+        a candidate model verified by compiled concrete evaluation is SAT
+        (and joins the witness pool).  Everything else falls through to the
+        backend, so verdicts — and hence the explored path set — stay
+        bit-identical to the oracle-free engine.
+        """
+
+        atoms: List[BoolExpr] = []
+        for lit in node.ordered:
+            entry = self._lit_conditions.get(lit if lit > 0 else -lit)
+            if entry is None:
+                return None
+            condition, encoded = entry
+            if (lit > 0) != (encoded > 0):
+                condition = BoolNot(condition)
+            atoms.append(condition)
+        outcome = analyze_conjunction(atoms)
+        if outcome.is_unsat:
+            return SATStatus.UNSAT
+        if outcome.verified:
+            self._models.insert(0, _PooledModel(dict(outcome.candidate)))
+            del self._models[self.MODEL_POOL_LIMIT:]
+            return SATStatus.SAT
+        return None
+
+    # ------------------------------------------------------------------
+    # Model-witness pool
+    # ------------------------------------------------------------------
+
+    def _pool_model(self) -> None:
+        """Extract the backend's current model into the MRU pool."""
+
+        self._models.insert(0, _PooledModel(extract_model(self._blaster, self._sat)))
+        del self._models[self.MODEL_POOL_LIMIT:]
+        self.stats.models_pooled += 1
+
+    def _witness_in_pool(self, node: PrefixNode) -> bool:
+        """True when some pooled model satisfies every assumption of *node*."""
+
+        for index, pooled in enumerate(self._models):
+            truths = pooled.truths
+            for lit in reversed(node.ordered):
+                base = lit if lit > 0 else -lit
+                value = truths.get(base)
+                if value is None:
+                    entry = self._lit_conditions.get(base)
+                    if entry is None:
+                        break  # not evaluable: fall through to the backend
+                    condition, encoded = entry
+                    # Compiled concrete evaluation; default=0 extends the
+                    # model over variables blasted after it was extracted
+                    # (any extension of a witness is a witness).
+                    truth = bool(compile_term(condition).run(
+                        pooled.assignment, default=0))
+                    # Truth of the *positive* base var: the encoded literal
+                    # may itself be negative.
+                    value = truth if encoded > 0 else not truth
+                    truths[base] = value
+                if value != (lit > 0):
+                    break
+            else:
+                if index:
+                    # MRU: children of this prefix will ask again soon.
+                    self._models.insert(0, self._models.pop(index))
+                return True
+        return False
+
+    def _repair_witness(self, node: PrefixNode) -> bool:
+        """Prove *node* SAT by locally repairing the freshest pooled model.
+
+        The dominant backend-bound check in practice is a known-SAT prefix
+        extended by one *new* condition (a fresh ``field == const`` match
+        that no pooled model happens to satisfy).  Instead of solving, copy
+        the most recent pooled model and patch the inputs of failing
+        *atomic* literals (variable/extract against a constant); accept only
+        if a full compiled re-evaluation of **every** literal then passes —
+        the repaired model is a genuine witness, so this can never flip an
+        answer; anything unrepairable falls through to the backend.
+        """
+
+        if not self._models or not node.ordered:
+            return False
+        candidate = dict(self._models[0].assignment)
+        conditions: List[Tuple[BoolExpr, bool]] = []
+        for lit in node.ordered:
+            base = lit if lit > 0 else -lit
+            entry = self._lit_conditions.get(base)
+            if entry is None:
+                return False
+            condition, encoded = entry
+            conditions.append((condition, (lit > 0) == (encoded > 0)))
+        for _attempt in range(3):
+            repaired_any = False
+            failed = False
+            for condition, target in conditions:
+                if bool(compile_term(condition).run(candidate, default=0)) == target:
+                    continue
+                failed = True
+                if _repair_condition(condition, target, candidate):
+                    repaired_any = True
+                else:
+                    return False
+            if not failed:
+                self._models.insert(0, _PooledModel(candidate))
+                del self._models[self.MODEL_POOL_LIMIT:]
+                return True
+            if not repaired_any:
+                return False
+        return False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,4 +482,101 @@ class PrefixOracle:
         snapshot["sat_variables"] = self._sat.num_vars
         snapshot["sat_clauses"] = self._sat.num_clauses
         snapshot["backend_solves"] = self._sat.solves
+        snapshot["model_pool_size"] = len(self._models)
         return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Witness repair: best-effort input patching for atomic conditions
+# ---------------------------------------------------------------------------
+
+
+def _write_input(expr: Expr, value: int, model: Dict[str, int]) -> bool:
+    """Force the *input bits* read by ``expr`` so it evaluates to *value*.
+
+    Handles the shapes simplification leaves in branch atoms: a variable, an
+    extract of a variable, and zero-extensions thereof.  Returns False for
+    anything else (derived expressions are not repairable locally).
+    """
+
+    if isinstance(expr, BVZeroExt):
+        if value >= (1 << expr.operand.width):
+            return False
+        return _write_input(expr.operand, value, model)
+    if isinstance(expr, BVVar):
+        model[expr.name] = value
+        return True
+    if isinstance(expr, BVExtract):
+        operand = expr.operand
+        if isinstance(operand, BVZeroExt):
+            operand = operand.operand
+        if not isinstance(operand, BVVar):
+            return False
+        field_mask = ((1 << expr.width) - 1) << expr.low
+        current = model.get(operand.name, 0)
+        model[operand.name] = ((current & ~field_mask)
+                               | ((value << expr.low) & field_mask)) \
+            & ((1 << operand.width) - 1)
+        return True
+    return False
+
+
+def _repair_condition(condition: BoolExpr, target: bool,
+                      model: Dict[str, int]) -> bool:
+    """Patch *model* so *condition* evaluates to *target* (best effort).
+
+    Only touches free inputs of atomic comparisons; the caller re-verifies
+    every literal afterwards, so a wrong guess costs a backend solve, never
+    soundness.
+    """
+
+    if isinstance(condition, BoolNot):
+        return _repair_condition(condition.operand, not target, model)
+    if isinstance(condition, BoolAnd) and target:
+        ok = True
+        for operand in condition.operands:
+            if not bool(compile_term(operand).run(model, default=0)):
+                ok = _repair_condition(operand, True, model) and ok
+        return ok
+    if isinstance(condition, BoolOr) and not target:
+        ok = True
+        for operand in condition.operands:
+            if bool(compile_term(operand).run(model, default=0)):
+                ok = _repair_condition(operand, False, model) and ok
+        return ok
+    if isinstance(condition, (BoolAnd, BoolOr)):
+        # One falsified conjunct / satisfied disjunct suffices: try each.
+        for operand in condition.operands:
+            patched = dict(model)
+            if (_repair_condition(operand, target, patched)
+                    and bool(compile_term(operand).run(patched, default=0)) == target):
+                model.update(patched)
+                return True
+        return False
+    if not isinstance(condition, BVCmp):
+        return False
+    lhs, rhs = condition.lhs, condition.rhs
+    if isinstance(lhs, BVConst) and condition.op in ("eq", "ne"):
+        lhs, rhs = rhs, lhs
+    if not isinstance(rhs, BVConst):
+        return False
+    constant = rhs.value
+    width = lhs.width
+    mask = (1 << width) - 1
+    op = condition.op
+    if op == "ne":
+        op, target = "eq", not target
+    if op == "eq":
+        if target:
+            return _write_input(lhs, constant, model)
+        return _write_input(lhs, constant ^ 1, model) \
+            if width else False
+    if op == "ult":
+        if target:
+            return constant > 0 and _write_input(lhs, 0, model)
+        return _write_input(lhs, constant, model)
+    if op == "ule":
+        if target:
+            return _write_input(lhs, 0, model)
+        return constant < mask and _write_input(lhs, constant + 1, model)
+    return False

@@ -406,10 +406,17 @@ def test_reused_engine_solver_stats_are_per_run_deltas():
     engine = Engine()
     first = engine.explore(program)
     second = engine.explore(program)
-    assert first.solver_stats["assumption_solves"] >= 1
-    # The second run is served entirely by the persistent prefix cache; every
-    # counter in solver_stats must be a per-run delta, not a lifetime total.
+    # The first run decides the branch without the prefix cache (interval
+    # pre-filter or backend); the second is served entirely by the persistent
+    # prefix cache, so every counter in solver_stats must be a per-run delta,
+    # not a lifetime total.
+    first_decides = (first.solver_stats["assumption_solves"]
+                     + first.solver_stats["interval_unsat"]
+                     + first.solver_stats["interval_sat"])
+    assert first_decides >= 1
     assert second.solver_stats["assumption_solves"] == 0
+    assert second.solver_stats["interval_unsat"] == 0
+    assert second.solver_stats["interval_sat"] == 0
     assert second.solver_stats["prefix_cache_hits"] >= 1
     assert second.solver_stats["queries"] == second.stats.solver_queries == 0
 

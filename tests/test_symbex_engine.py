@@ -285,10 +285,13 @@ def test_reused_oracle_engine_reports_per_run_solver_queries():
     engine = Engine()
     first = engine.explore(program)
     second = engine.explore(program)
-    assert first.stats.solver_queries > 0
-    # The persistent prefix cache may answer the second run without the
-    # backend, but the stat must never grow cumulatively.
-    assert second.stats.solver_queries <= first.stats.solver_queries
+    # The word-level pre-filter may answer every check without the backend,
+    # so solver_queries can legitimately be zero — but the branch decisions
+    # themselves must be visible, and the per-run stats must never grow
+    # cumulatively across explore() calls on a reused engine.
+    assert first.solver_stats["branch_checks"] > 0
+    assert second.stats.solver_queries <= max(first.stats.solver_queries, 0)
+    assert second.solver_stats["branch_checks"] <= first.solver_stats["branch_checks"]
 
 
 def test_aborted_replays_are_counted():
