@@ -33,6 +33,7 @@ from repro.openflow.messages import (
 )
 from repro.openflow.parser import parse_header
 from repro.packetlib.flowkey import FlowKey, extract_flow_key
+from repro.testing.faults import fault_point
 from repro.wire.buffer import SymBuffer
 from repro.wire.fields import FieldValue, field_int, field_repr, is_symbolic_field
 
@@ -111,6 +112,7 @@ class OpenFlowAgent:
 
         if self.crashed:
             return
+        fault_point("agent.handle", getattr(self, "NAME", type(self).__name__))
         header = parse_header(buf)
         if header.version != c.OFP_VERSION:
             self.send_error(header.xid, c.OFPET_BAD_REQUEST, c.OFPBRC_BAD_VERSION)

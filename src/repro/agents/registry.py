@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
-from repro.errors import AgentRegistrationError
+from repro.errors import AgentRegistrationError, UnknownAgentError
 
 __all__ = [
     "AgentInfo",
@@ -157,7 +157,8 @@ def agent_info(name: str) -> AgentInfo:
     try:
         return _INFO[name]
     except KeyError:
-        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(_INFO)))
+        raise UnknownAgentError("unknown agent %r; known agents: %s"
+                                % (name, sorted(_INFO)))
 
 
 def registered_agent_names() -> List[str]:
@@ -172,5 +173,6 @@ def make_agent(name: str, **kwargs):
     try:
         info = _INFO[name]
     except KeyError:
-        raise KeyError("unknown agent %r; known agents: %s" % (name, sorted(_INFO)))
+        raise UnknownAgentError("unknown agent %r; known agents: %s"
+                                % (name, sorted(_INFO)))
     return info.factory(**kwargs)

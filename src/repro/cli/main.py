@@ -38,7 +38,13 @@ from repro.core.explorer import explore_agent
 from repro.core.grouping import group_paths
 from repro.core.soft import SOFT
 from repro.core.tests_catalog import TABLE1_TESTS, VALID_SCALES, catalog, get_test
-from repro.errors import ArtifactError, CampaignError, CorpusError, WitnessError
+from repro.errors import (
+    ArtifactError,
+    CampaignError,
+    CheckpointError,
+    CorpusError,
+    WitnessError,
+)
 from repro.hybrid.scheduler import ALL_STAGES, HybridConfig, HybridHunt
 from repro.symbex.strategies import strategy_names
 
@@ -133,6 +139,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="triage without delta-minimization of witnesses")
     campaign.add_argument("--strategy", choices=strategy_names(), default=None,
                           help="Phase-1 frontier discipline (default: dfs)")
+    campaign.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="SECONDS", dest="cell_timeout",
+                          help="per-cell wall-clock deadline; a cell still running "
+                               "at the deadline is recorded as timed_out instead "
+                               "of hanging the whole campaign")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts per cell after a crash or failure "
+                               "(default 1; exponential backoff between attempts)")
+    campaign.add_argument("--checkpoint", metavar="DIR", default=None,
+                          help="journal every finished cell into DIR so an "
+                               "interrupted campaign can be resumed")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip cells already completed in the --checkpoint "
+                               "directory (requires --checkpoint)")
+    campaign.add_argument("--fault-plan", metavar="FILE", dest="fault_plan",
+                          default=None,
+                          help="install a JSON fault-injection plan (testing "
+                               "only: deterministic hangs/crashes/corruption "
+                               "at named sites)")
+    campaign.add_argument("--corpus", metavar="DIR", default=None,
+                          help="persist confirmed witnesses into DIR as "
+                               "regression bundles")
     campaign.add_argument("--json", metavar="FILE", dest="json_out",
                           help="write the machine-readable report to FILE ('-' = stdout)")
     campaign.add_argument("--quiet", action="store_true",
@@ -395,12 +423,30 @@ def _write_json(rendered: str, json_out: str, quiet: bool) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        from repro.testing.faults import load_fault_plan
+
+        try:
+            fault_plan = load_fault_plan(args.fault_plan)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
     campaign = Campaign(workers=args.workers, executor=args.executor,
                         replay_testcases=not args.no_replay,
                         incremental=not args.no_incremental,
                         triage=not args.no_triage,
                         minimize=not args.no_minimize,
-                        strategy=args.strategy)
+                        strategy=args.strategy,
+                        cell_timeout=args.cell_timeout,
+                        retries=args.retries,
+                        checkpoint_dir=args.checkpoint,
+                        resume=args.resume,
+                        fault_plan=fault_plan,
+                        corpus_dir=args.corpus)
     error = _configure_campaign(campaign, args)
     if error is not None:
         return error
@@ -412,11 +458,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if report.unused_loaded_agents:
         print("warning: loaded artifact(s) for %s matched no pair and were unused"
               % ", ".join(report.unused_loaded_agents), file=sys.stderr)
+    if report.executor_degraded:
+        print("warning: executor degraded: process pool fell back to threads "
+              "after %d event(s); see executor_degraded in the JSON report"
+              % len(report.executor_degraded), file=sys.stderr)
     if not args.quiet:
         print(report.describe())
     if args.json_out:
-        return _write_json(report.to_json(), args.json_out, args.quiet)
-    return 0
+        code = _write_json(report.to_json(), args.json_out, args.quiet)
+        if code:
+            return code
+    return report.exit_code
 
 
 def _cmd_triage(args: argparse.Namespace) -> int:
@@ -694,7 +746,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "bench":
             return _cmd_bench(args)
-    except (ArtifactError, CampaignError, CorpusError, WitnessError) as exc:
+    except (ArtifactError, CampaignError, CheckpointError, CorpusError,
+            WitnessError) as exc:
         print("error: %s" % (exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2
     parser.error("unknown command %r" % (args.command,))

@@ -44,14 +44,15 @@ import itertools
 import json
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.agents.registry import AGENT_REGISTRY
 from repro.core.artifacts import load_exploration_artifact
+from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.crosscheck import find_inconsistencies
 from repro.core.explorer import AgentExplorationReport, explore_agent
+from repro.core.jobs import CampaignJob, JobFailure, JobResult, JobSupervisor, RetryPolicy
 from repro.core.grouping import GroupedResults, group_paths
 from repro.core.corpus import WitnessCorpus
 from repro.core.soft import SoftReport
@@ -71,6 +72,13 @@ from repro.symbex.simplify import clear_simplify_cache, simplify_cache_stats
 from repro.symbex.solver import GroupEncoding, Solver, SolverConfig, merge_stat_dicts
 
 __all__ = ["Campaign", "CampaignReport", "EncodingCache", "ExplorationCache"]
+
+# Process exit codes `soft campaign` maps campaign outcomes onto; see
+# :attr:`CampaignReport.exit_code`.
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2
+EXIT_CRASHED = 3
 
 TestLike = Union[str, TestSpec]
 Pair = Tuple[str, str]
@@ -283,6 +291,34 @@ class CampaignReport:
     #: static decision-map sites, the dynamic branch points reached, and
     #: their ratio (the true ``coverage_fraction``).
     coverage: Optional[Dict[str, object]] = None
+    #: Structured records of every cell that terminalized non-``ok``
+    #: (failed / timed_out / crashed / skipped); empty on a clean run.
+    job_failures: List[JobFailure] = dataclass_field(default_factory=list)
+    #: Executor degradations the supervisor recorded (broken process pools
+    #: demoted to threads, unpicklable specs); non-empty means the campaign
+    #: did not run on the executor it was asked for.
+    executor_degraded: List[Dict[str, object]] = dataclass_field(default_factory=list)
+    #: Terminal-state histogram of this run's cells (``{"ok": 7, ...}``).
+    job_states: Dict[str, int] = dataclass_field(default_factory=dict)
+    #: Checkpoint directory this run journaled into, if any.
+    checkpoint_dir: Optional[str] = None
+    #: Cells restored from the checkpoint instead of being re-run.
+    resumed_cells: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 completed-with-failures, 3 crashed.
+
+        A cell that kept *crashing* (dead workers) is a different severity
+        than one that failed or timed out in its own code — callers scripting
+        around ``soft campaign`` can tell them apart.
+        """
+
+        if any(failure.state == "crashed" for failure in self.job_failures):
+            return EXIT_CRASHED
+        if self.job_failures:
+            return EXIT_FAILURES
+        return EXIT_OK
 
     @property
     def coverage_fraction(self) -> Optional[float]:
@@ -362,6 +398,13 @@ class CampaignReport:
             "explorations": [dict(row) for row in self.exploration_stats],
             "hunts": [hunt.to_dict() for hunt in self.hunts],
             "coverage": dict(self.coverage) if self.coverage is not None else None,
+            "job_failures": [failure.to_dict() for failure in self.job_failures],
+            "job_states": dict(self.job_states),
+            "executor_degraded": [dict(event) for event in self.executor_degraded],
+            "checkpoint": ({"dir": self.checkpoint_dir,
+                            "resumed_cells": self.resumed_cells}
+                           if self.checkpoint_dir else None),
+            "exit_code": self.exit_code,
             "totals": {
                 "pair_reports": self.pair_count,
                 "solver_queries": self.total_queries,
@@ -387,6 +430,14 @@ class CampaignReport:
             "%d exploration(s) saved by the cache"
             % (self.explorations_run, self.explorations_loaded, self.cache_hits),
         ]
+        if self.checkpoint_dir:
+            lines.append("  checkpoint: %s (%d cell(s) restored on resume)"
+                         % (self.checkpoint_dir, self.resumed_cells))
+        for event in self.executor_degraded:
+            lines.append("  warning: executor degraded: %s"
+                         % event.get("reason", event.get("kind", "unknown")))
+        for failure in self.job_failures:
+            lines.append("  cell %s" % failure.describe())
         explored = [row for row in self.exploration_stats if not row.get("loaded")]
         if explored:
             strategies = sorted({str(row.get("strategy")) for row in explored
@@ -494,7 +545,13 @@ class Campaign:
                  minimize_budget: int = 96,
                  corpus_dir: Optional[str] = None,
                  agent_options: Optional[Dict[str, Dict[str, object]]] = None,
-                 hybrid: Optional["HybridConfig"] = None) -> None:
+                 hybrid: Optional["HybridConfig"] = None,
+                 cell_timeout: Optional[float] = None,
+                 retries: int = 1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False,
+                 fault_plan=None) -> None:
         self._tests: List[TestLike] = []
         self._agents: List[str] = []
         self._pairs: Optional[List[Pair]] = None
@@ -536,6 +593,26 @@ class Campaign:
         #: one-shot exhaustive pipeline; the budget applies per hunt.  All
         #: hunt witnesses still merge into the campaign-wide triage/corpus.
         self.hybrid = hybrid
+        #: Per-cell wall-clock deadline in seconds (None = unlimited).  A
+        #: cell that exceeds it is abandoned by the job supervisor and, once
+        #: its retries are spent, lands as terminal state ``timed_out``.
+        self.cell_timeout = cell_timeout
+        #: Extra attempts per cell after the first (the full policy —
+        #: backoff, jitter — is overridable via *retry_policy*).
+        self.retries = max(0, int(retries))
+        self.retry_policy = retry_policy
+        #: Journal terminal cells (and their payloads) into this directory;
+        #: with ``resume=True`` cells whose last recorded state is ``ok`` are
+        #: restored instead of re-run.  Failed/timed-out/crashed cells get a
+        #: fresh retry budget on resume.
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = bool(resume)
+        if self.resume and not self.checkpoint_dir:
+            raise CampaignError("resume=True requires checkpoint_dir "
+                                "(soft campaign --resume requires --checkpoint)")
+        #: Deterministic :class:`repro.testing.faults.FaultPlan` installed for
+        #: the duration of each run (and shipped to worker processes).
+        self.fault_plan = fault_plan
         self.strategy: Optional[str] = None
         if strategy is not None:
             self.with_strategy(strategy)
@@ -651,6 +728,32 @@ class Campaign:
             self.executor = executor
         return self
 
+    def with_cell_timeout(self, timeout: Optional[float],
+                          retries: Optional[int] = None) -> "Campaign":
+        """Per-cell wall-clock deadline (and optionally the retry budget)."""
+
+        self.cell_timeout = timeout
+        if retries is not None:
+            self.retries = max(0, int(retries))
+        return self
+
+    def with_checkpoint(self, directory: Optional[str],
+                        resume: bool = False) -> "Campaign":
+        """Journal terminal cells into *directory*; ``resume=True`` skips
+        cells the journal already records as ``ok``."""
+
+        if resume and not directory:
+            raise CampaignError("resume=True requires a checkpoint directory")
+        self.checkpoint_dir = directory
+        self.resume = bool(resume)
+        return self
+
+    def with_fault_plan(self, plan) -> "Campaign":
+        """Install a :class:`repro.testing.faults.FaultPlan` for each run."""
+
+        self.fault_plan = plan
+        return self
+
     # ------------------------------------------------------------------
     # Artifact seeding (the vendor workflow)
     # ------------------------------------------------------------------
@@ -733,65 +836,118 @@ class Campaign:
                         "agent %r is not registered and has no loaded artifact "
                         "for test %r" % (agent, spec.key))
 
-    def _run_phase1(self, specs: Sequence[TestSpec],
-                    agents: Sequence[str]) -> int:
-        """Explore every (agent, test) unit not already cached; returns run count."""
+    def _journal_record(self, result: JobResult) -> Dict[str, object]:
+        return {
+            "cell": list(result.job.key),
+            "state": result.state,
+            "attempts": result.job.attempts,
+            "wall_time": result.wall_time,
+            "error": (result.failure.to_dict()
+                      if result.failure is not None else None),
+        }
+
+    def _run_phase1(self, specs: Sequence[TestSpec], agents: Sequence[str],
+                    supervisor: JobSupervisor,
+                    checkpoint: Optional[CampaignCheckpoint],
+                    completed: Dict[Tuple[str, ...], Dict[str, object]],
+                    job_failures: List[JobFailure],
+                    job_states: Dict[str, int]) -> Tuple[int, int]:
+        """Explore every un-cached (agent, test) unit under the supervisor.
+
+        Returns ``(explorations_run, cells_restored_from_checkpoint)``.  A
+        unit whose checkpointed state is ``ok`` is seeded from the saved
+        artifact instead of re-explored; a unit that exhausts its retries
+        lands in *job_failures* and its dependent pairs are later skipped.
+        """
 
         units = [(agent, spec) for spec in specs for agent in agents
                  if not self.cache.contains(agent, spec)]
+        restored = 0
+        if checkpoint is not None and completed:
+            remaining: List[Tuple[str, TestSpec]] = []
+            for agent, spec in units:
+                cell = CampaignCheckpoint.phase1_cell(agent, spec)
+                if cell in completed and checkpoint.has_phase1(agent, spec):
+                    self.cache.seed(checkpoint.load_phase1(agent, spec), spec,
+                                    loaded=True)
+                    restored += 1
+                else:
+                    remaining.append((agent, spec))
+            units = remaining
         if not units:
-            return 0
+            return 0, restored
 
-        thread_units = units
+        # Ship the actual spec to worker processes — never a re-resolved
+        # catalog lookalike.  Specs that do not pickle (closure-built inputs)
+        # run on threads instead; that demotion is recorded, not silent.
+        process_ids: set = set()
         if self.executor == "process" and self.workers > 1:
-            # Ship the actual spec to the worker — never a re-resolved catalog
-            # lookalike.  Specs that do not pickle (closure-built inputs) run
-            # in the parent instead.
-            process_units = [unit for unit in units if _picklable(unit[1])]
-            thread_units = [unit for unit in units if not _picklable(unit[1])]
-            if process_units:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    futures = [
-                        pool.submit(_explore_spec_unit, agent, spec,
-                                    self.engine_config, self.solver_config,
-                                    self.with_coverage, self.strategy)
-                        for agent, spec in process_units
-                    ]
-                    for (agent, spec), future in zip(process_units, futures):
-                        report, wall = future.result()
-                        self.cache.seed(report, spec, wall_time=wall)
+            process_ids = {id(unit) for unit in units if _picklable(unit[1])}
+            unpicklable = sorted({unit[1].key for unit in units
+                                  if id(unit) not in process_ids})
+            if unpicklable:
+                supervisor.record_degradation(
+                    "spec(s) %s do not pickle; their Phase-1 cells run on "
+                    "the thread executor" % ", ".join(unpicklable),
+                    kind="unpicklable-spec", tests=unpicklable)
 
-        # When the pool is wider than the unit list, leftover width goes into
-        # each unit: the engine splits that test's exploration frontier across
-        # split_workers thread engines.  On GIL-bound CPython this bounds
-        # per-engine state rather than multiplying throughput; true CPU
-        # parallelism across units comes from executor="process".
+        # When the pool is wider than the thread-run unit list, leftover
+        # width goes into each unit: the engine splits that test's
+        # exploration frontier across split_workers thread engines.
+        thread_count = len(units) - len(process_ids)
         split_workers = 1
-        if self.workers > 1 and thread_units and len(thread_units) < self.workers:
-            split_workers = max(1, self.workers // len(thread_units))
+        if self.workers > 1 and 0 < thread_count < self.workers:
+            split_workers = max(1, self.workers // thread_count)
 
-        def explore_one(unit: Tuple[str, TestSpec]) -> None:
+        unit_by_cell: Dict[Tuple[str, ...], Tuple[str, TestSpec]] = {}
+        jobs: List[CampaignJob] = []
+        for unit in units:
             agent, spec = unit
-            started = time.perf_counter()
-            report = explore_agent(agent, spec, engine_config=self.engine_config,
-                                   solver_config=self.solver_config,
-                                   with_coverage=self.with_coverage,
-                                   strategy=self.strategy, workers=split_workers)
-            self.cache.seed(report, spec, wall_time=time.perf_counter() - started)
+            cell = CampaignCheckpoint.phase1_cell(agent, spec)
+            unit_by_cell[cell] = unit
 
-        if self.workers > 1 and len(thread_units) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for future in [pool.submit(explore_one, unit) for unit in thread_units]:
-                    future.result()
-        else:
-            for unit in thread_units:
-                explore_one(unit)
-        return len(units)
+            def thread_fn(agent: str = agent, spec: TestSpec = spec) -> Tuple:
+                started = time.perf_counter()
+                # Module-global lookup on purpose: tests monkeypatch
+                # campaign-side explore_agent to instrument Phase 1.
+                report = explore_agent(
+                    agent, spec, engine_config=self.engine_config,
+                    solver_config=self.solver_config,
+                    with_coverage=self.with_coverage,
+                    strategy=self.strategy, workers=split_workers)
+                return report, time.perf_counter() - started
+
+            process_task = None
+            if id(unit) in process_ids:
+                process_task = (_explore_spec_unit,
+                                (agent, spec, self.engine_config,
+                                 self.solver_config, self.with_coverage,
+                                 self.strategy))
+            jobs.append(CampaignJob(kind="phase1", key=cell,
+                                    thread_fn=thread_fn,
+                                    process_task=process_task))
+
+        ran = [0]
+
+        def on_result(result: JobResult) -> None:
+            job_states[result.state] = job_states.get(result.state, 0) + 1
+            agent, spec = unit_by_cell[result.job.key]
+            if result.ok:
+                report, wall = result.value
+                self.cache.seed(report, spec, wall_time=wall)
+                ran[0] += 1
+                if checkpoint is not None:
+                    checkpoint.save_phase1(report, spec)
+            else:
+                job_failures.append(result.failure)
+            if checkpoint is not None:
+                checkpoint.append(self._journal_record(result))
+
+        supervisor.run(jobs, on_result=on_result)
+        return ran[0], restored
 
     def _run_pair(self, spec: TestSpec, agent_a: str, agent_b: str,
                   exploration_shares: Optional[Dict[Tuple[str, str], int]] = None,
-                  triage_index: Optional[TriageIndex] = None,
-                  skipped_triage: Optional[List[Tuple[str, str, str, str]]] = None,
                   ) -> SoftReport:
         """Phase 2 for one (test, pair): crosscheck, concretize, replay, triage.
 
@@ -801,9 +957,11 @@ class Campaign:
         shared Phase-1 cost.
 
         When triage is on, every replayed inconsistency becomes a
-        :class:`~repro.core.witness.Witness`, is delta-minimized with replay
-        as the oracle, and is merged into the campaign-wide *triage_index*
-        (thread-safe; pairs run on the worker pool).
+        :class:`~repro.core.witness.Witness` and is delta-minimized with
+        replay as the oracle.  Witnesses ride back on the report; the
+        campaign merges them into its shared triage index on the supervisor
+        thread — pair cells run under per-cell deadlines, and an attempt
+        abandoned at its deadline must not have mutated shared state.
         """
 
         started = time.perf_counter()
@@ -834,29 +992,19 @@ class Campaign:
                         testcase, agent_a, agent_b,
                         agent_options=self.agent_options))
 
-        if triage_index is not None:
-            if can_replay and self.build_testcases:
-                def replayer(candidate: ConcreteTestCase) -> ReplayOutcome:
-                    return replay_testcase(candidate, agent_a, agent_b,
-                                           agent_options=self.agent_options)
+        if self.triage and can_replay and self.build_testcases:
+            def replayer(candidate: ConcreteTestCase) -> ReplayOutcome:
+                return replay_testcase(candidate, agent_a, agent_b,
+                                       agent_options=self.agent_options)
 
-                for inconsistency, testcase, replay in zip(
-                        crosscheck.inconsistencies, testcases, replays):
-                    witness = build_witness(spec, inconsistency, testcase, replay)
-                    if self.minimize and witness.confirmed:
-                        witness = minimize_witness(
-                            witness, spec, replayer,
-                            max_replays=self.minimize_budget)
-                    witnesses.append(witness)
-                    triage_index.add(witness)
-            elif crosscheck.inconsistencies and skipped_triage is not None:
-                if not self.build_testcases:
-                    reason = "testcase generation disabled"
-                elif not self.replay_testcases:
-                    reason = "replay disabled"
-                else:
-                    reason = "agent(s) not replayable"
-                skipped_triage.append((spec.key, agent_a, agent_b, reason))
+            for inconsistency, testcase, replay in zip(
+                    crosscheck.inconsistencies, testcases, replays):
+                witness = build_witness(spec, inconsistency, testcase, replay)
+                if self.minimize and witness.confirmed:
+                    witness = minimize_witness(
+                        witness, spec, replayer,
+                        max_replays=self.minimize_budget)
+                witnesses.append(witness)
 
         return SoftReport(
             test_key=spec.key,
@@ -875,9 +1023,37 @@ class Campaign:
                         + entry_b.wall_time / shares_b),
         )
 
+    def _make_supervisor(self) -> JobSupervisor:
+        return JobSupervisor(
+            workers=self.workers,
+            executor=self.executor,
+            cell_timeout=self.cell_timeout,
+            retry=self.retry_policy or RetryPolicy(retries=self.retries),
+            fault_plan=self.fault_plan,
+        )
+
+    def _open_checkpoint(self, specs: Sequence[TestSpec], pairs: Sequence[Pair],
+                         paired_agents: Sequence[str]):
+        if not self.checkpoint_dir:
+            return None, {}
+        checkpoint = CampaignCheckpoint(self.checkpoint_dir)
+        checkpoint.open(CampaignCheckpoint.fingerprint_for(
+            specs, paired_agents, pairs, self.strategy, self.incremental,
+            self.hybrid is not None), resume=self.resume)
+        completed = checkpoint.completed_cells() if self.resume else {}
+        return checkpoint, completed
+
     def run(self) -> CampaignReport:
         """Execute the whole campaign and return the aggregated report."""
 
+        if self.fault_plan is not None:
+            from repro.testing.faults import installed_fault_plan
+
+            with installed_fault_plan(self.fault_plan):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> CampaignReport:
         started = time.perf_counter()
         if self.corpus_dir and not self.triage:
             raise CampaignError(
@@ -908,34 +1084,113 @@ class Campaign:
                          if any(agent in pair for pair in pairs)]
         self._validate_agents(specs, paired_agents)
 
+        supervisor = self._make_supervisor()
+        checkpoint, completed = self._open_checkpoint(specs, pairs, paired_agents)
+        job_failures: List[JobFailure] = []
+        job_states: Dict[str, int] = {}
+
         if self.hybrid is not None:
-            return self._run_hybrid(started, specs, pairs, paired_agents)
+            return self._run_hybrid(started, specs, pairs, paired_agents,
+                                    supervisor, checkpoint, completed,
+                                    job_failures, job_states)
 
         loaded_before = self.cache.loaded_count
         hits_before = self.cache.hits
         encoding_stats_before = self.encodings.aggregated()
-        explorations_run = self._run_phase1(specs, paired_agents)
+        explorations_run, resumed = self._run_phase1(
+            specs, paired_agents, supervisor, checkpoint, completed,
+            job_failures, job_states)
 
-        jobs = [(spec, agent_a, agent_b) for spec in specs for agent_a, agent_b in pairs]
+        cells = [(spec, agent_a, agent_b) for spec in specs
+                 for agent_a, agent_b in pairs]
         shares: Dict[Tuple[str, str], int] = {}
-        for spec, agent_a, agent_b in jobs:
+        for spec, agent_a, agent_b in cells:
             for agent in (agent_a, agent_b):
                 key = (agent, spec.key)
                 shares[key] = shares.get(key, 0) + 1
+
         triage_index = TriageIndex() if self.triage else None
         skipped_triage: List[Tuple[str, str, str, str]] = []
-        if self.workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [pool.submit(self._run_pair, *job, exploration_shares=shares,
-                                       triage_index=triage_index,
-                                       skipped_triage=skipped_triage)
-                           for job in jobs]
-                reports = [future.result() for future in futures]
-        else:
-            reports = [self._run_pair(*job, exploration_shares=shares,
-                                      triage_index=triage_index,
-                                      skipped_triage=skipped_triage)
-                       for job in jobs]
+
+        def merge_triage(spec: TestSpec, agent_a: str, agent_b: str,
+                         report: SoftReport) -> None:
+            if triage_index is None:
+                return
+            if report.witnesses:
+                triage_index.add_all(report.witnesses)
+            elif report.inconsistencies:
+                if not self.build_testcases:
+                    reason = "testcase generation disabled"
+                elif not self.replay_testcases:
+                    reason = "replay disabled"
+                else:
+                    reason = "agent(s) not replayable"
+                skipped_triage.append((spec.key, agent_a, agent_b, reason))
+
+        reports_by_cell: Dict[Tuple[str, ...], SoftReport] = {}
+        ordered_cells: List[Tuple[str, ...]] = []
+        job_meta: Dict[Tuple[str, ...], Tuple[TestSpec, str, str]] = {}
+        pair_jobs: List[CampaignJob] = []
+        for spec, agent_a, agent_b in cells:
+            cell = CampaignCheckpoint.pair_cell(spec, agent_a, agent_b)
+            ordered_cells.append(cell)
+            job_meta[cell] = (spec, agent_a, agent_b)
+            if (checkpoint is not None and cell in completed
+                    and self.cache.contains(agent_a, spec)
+                    and self.cache.contains(agent_b, spec)):
+                report = checkpoint.load_pair(
+                    spec, agent_a, agent_b,
+                    self.cache.peek(agent_a, spec),
+                    self.cache.peek(agent_b, spec))
+                reports_by_cell[cell] = report
+                resumed += 1
+                merge_triage(spec, agent_a, agent_b, report)
+                continue
+            missing = [agent for agent in (agent_a, agent_b)
+                       if not self.cache.contains(agent, spec)]
+            if missing:
+                # The dependency cell(s) already terminalized non-ok: this
+                # pair cannot run, and says so instead of raising mid-flight.
+                failure = JobFailure(
+                    kind="pair", cell="/".join(cell), state="skipped",
+                    attempts=0, error_type="DependencySkipped",
+                    message="phase-1 exploration failed for %s"
+                            % ", ".join(missing))
+                job_failures.append(failure)
+                job_states["skipped"] = job_states.get("skipped", 0) + 1
+                if checkpoint is not None:
+                    checkpoint.append({"cell": list(cell), "state": "skipped",
+                                       "attempts": 0, "wall_time": 0.0,
+                                       "error": failure.to_dict()})
+                continue
+
+            def thread_fn(spec: TestSpec = spec, agent_a: str = agent_a,
+                          agent_b: str = agent_b) -> SoftReport:
+                return self._run_pair(spec, agent_a, agent_b,
+                                      exploration_shares=shares)
+
+            pair_jobs.append(CampaignJob(kind="pair", key=cell,
+                                         thread_fn=thread_fn))
+
+        def on_pair_result(result: JobResult) -> None:
+            job_states[result.state] = job_states.get(result.state, 0) + 1
+            spec, agent_a, agent_b = job_meta[result.job.key]
+            if result.ok:
+                report = result.value
+                reports_by_cell[result.job.key] = report
+                merge_triage(spec, agent_a, agent_b, report)
+                if checkpoint is not None:
+                    checkpoint.save_pair(spec, report)
+            else:
+                job_failures.append(result.failure)
+            if checkpoint is not None:
+                checkpoint.append(self._journal_record(result))
+
+        if pair_jobs:
+            supervisor.run(pair_jobs, on_result=on_pair_result)
+
+        reports = [reports_by_cell[cell] for cell in ordered_cells
+                   if cell in reports_by_cell]
 
         triage_report: Optional[TriageReport] = None
         corpus_saved = 0
@@ -1035,6 +1290,11 @@ class Campaign:
             corpus_dir=self.corpus_dir,
             corpus_saved=corpus_saved,
             coverage=coverage_summary,
+            job_failures=job_failures,
+            executor_degraded=list(supervisor.degradation_events),
+            job_states=job_states,
+            checkpoint_dir=self.checkpoint_dir,
+            resumed_cells=resumed,
         )
 
     # ------------------------------------------------------------------
@@ -1042,14 +1302,19 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def _run_hybrid(self, started: float, specs: Sequence[TestSpec],
-                    pairs: Sequence[Pair],
-                    paired_agents: Sequence[str]) -> CampaignReport:
+                    pairs: Sequence[Pair], paired_agents: Sequence[str],
+                    supervisor: JobSupervisor,
+                    checkpoint: Optional[CampaignCheckpoint],
+                    completed: Dict[Tuple[str, ...], Dict[str, object]],
+                    job_failures: List[JobFailure],
+                    job_states: Dict[str, int]) -> CampaignReport:
         """One budgeted :class:`HybridHunt` per (test, pair).
 
         Each hunt keeps its own seed pool, engines and stage scheduler; the
         witnesses of every hunt merge into one campaign-wide triage index so
         clustering (and the optional corpus) spans the whole matrix, exactly
-        as in the exhaustive mode.
+        as in the exhaustive mode.  Hunts are supervised cells like any
+        other: per-cell deadlines, retries, checkpointed terminal states.
         """
 
         import dataclasses
@@ -1059,19 +1324,47 @@ class Campaign:
         # Hunts persist through the campaign corpus below, not individually —
         # per-hunt saves would race and double-write under the worker pool.
         hunt_config = dataclasses.replace(self.hybrid, corpus_dir=None)
-        jobs = [(spec, agent_a, agent_b)
-                for spec in specs for agent_a, agent_b in pairs]
 
-        def run_job(job):
-            spec, agent_a, agent_b = job
-            hunt = HybridHunt(spec, agent_a, agent_b, config=hunt_config)
-            return hunt.run()
+        hunts_by_cell: Dict[Tuple[str, ...], object] = {}
+        ordered_cells: List[Tuple[str, ...]] = []
+        hunt_jobs: List[CampaignJob] = []
+        resumed = 0
+        for spec in specs:
+            for agent_a, agent_b in pairs:
+                cell = CampaignCheckpoint.hunt_cell(spec, agent_a, agent_b)
+                ordered_cells.append(cell)
+                if checkpoint is not None and cell in completed:
+                    hunts_by_cell[cell] = checkpoint.load_hunt(spec, agent_a, agent_b)
+                    resumed += 1
+                    continue
 
-        if self.workers > 1 and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                hunts = list(pool.map(run_job, jobs))
-        else:
-            hunts = [run_job(job) for job in jobs]
+                def thread_fn(spec: TestSpec = spec, agent_a: str = agent_a,
+                              agent_b: str = agent_b):
+                    hunt = HybridHunt(spec, agent_a, agent_b, config=hunt_config)
+                    return hunt.run()
+
+                hunt_jobs.append(CampaignJob(kind="hunt", key=cell,
+                                             thread_fn=thread_fn))
+
+        spec_by_cell = {CampaignCheckpoint.hunt_cell(spec, agent_a, agent_b): spec
+                        for spec in specs for agent_a, agent_b in pairs}
+
+        def on_hunt_result(result: JobResult) -> None:
+            job_states[result.state] = job_states.get(result.state, 0) + 1
+            if result.ok:
+                hunts_by_cell[result.job.key] = result.value
+                if checkpoint is not None:
+                    checkpoint.save_hunt(spec_by_cell[result.job.key], result.value)
+            else:
+                job_failures.append(result.failure)
+            if checkpoint is not None:
+                checkpoint.append(self._journal_record(result))
+
+        if hunt_jobs:
+            supervisor.run(hunt_jobs, on_result=on_hunt_result)
+
+        hunts = [hunts_by_cell[cell] for cell in ordered_cells
+                 if cell in hunts_by_cell]
 
         triage_index = TriageIndex()
         for hunt in hunts:
@@ -1099,4 +1392,9 @@ class Campaign:
             corpus_dir=self.corpus_dir,
             corpus_saved=corpus_saved,
             hunts=hunts,
+            job_failures=job_failures,
+            executor_degraded=list(supervisor.degradation_events),
+            job_states=job_states,
+            checkpoint_dir=self.checkpoint_dir,
+            resumed_cells=resumed,
         )

@@ -1,0 +1,448 @@
+"""Campaign checkpoints: a resumable on-disk journal of terminal cells.
+
+A checkpointed campaign appends one JSONL record to ``jobs.jsonl`` every
+time a cell (Phase-1 unit, crosscheck pair, hybrid hunt) reaches a
+terminal state, alongside the cell's payload when it succeeded:
+
+* ``meta.json`` — the format tag plus a *fingerprint* of the campaign
+  configuration (tests, agents, pairs, strategy, mode).  Resuming into a
+  differently-shaped campaign is refused loudly rather than silently
+  mixing incompatible cells.
+* ``jobs.jsonl`` — append-only journal, one record per terminal job:
+  ``{"cell": [...], "state": ..., "attempts": ..., "error": ...}``.
+  Last record per cell wins, so a re-run of a previously failed cell
+  simply appends its new outcome.  A truncated final line (the process
+  died mid-append) is tolerated and ignored.
+* ``artifacts/`` — one Phase-1 exploration artifact per ``ok`` phase-1
+  cell, in the standard vendor-exchange format
+  (:mod:`repro.core.artifacts`), so checkpoints double as artifact dirs.
+* ``pairs/`` / ``hunts/`` — per-cell payloads for ``ok`` crosscheck
+  pairs and hybrid hunts: everything the campaign report needs, without
+  re-running Phase 2.
+
+Resume semantics: only cells whose *last* recorded state is ``ok`` are
+skipped — failed/timed-out/crashed cells get a fresh retry budget on
+resume (the whole point of resuming is usually that the environmental
+cause of the failure is gone).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.artifacts import load_exploration_artifact, save_exploration_artifact
+from repro.core.crosscheck import CrosscheckReport, Inconsistency
+from repro.core.explorer import AgentExplorationReport
+from repro.core.soft import SoftReport
+from repro.core.tests_catalog import TestSpec
+from repro.core.trace import OutputTrace
+from repro.core.witness import Witness
+from repro.errors import ArtifactError, CheckpointError, ReproError
+from repro.symbex.serialize import bool_expr_from_obj, expr_to_obj
+
+__all__ = ["CampaignCheckpoint", "CHECKPOINT_FORMAT", "PAIR_CELL_FORMAT",
+           "HUNT_CELL_FORMAT"]
+
+CHECKPOINT_FORMAT = "soft/campaign-checkpoint/v1"
+PAIR_CELL_FORMAT = "soft/pair-cell/v1"
+HUNT_CELL_FORMAT = "soft/hunt-cell/v1"
+
+Cell = Tuple[str, ...]
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe rendering of one cell-key component."""
+
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text) or "_"
+
+
+class _RestoredReplay:
+    """Duck-typed stand-in for a checkpointed pair's replay outcomes.
+
+    The campaign report only ever asks a restored replay whether it
+    ``diverged``; the full traces live on the restored witnesses.
+    """
+
+    __slots__ = ("diverged",)
+
+    def __init__(self, diverged: bool) -> None:
+        self.diverged = bool(diverged)
+
+
+class CampaignCheckpoint:
+    """One checkpoint directory: journal, meta fingerprint and payloads."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._journal = os.path.join(directory, "jobs.jsonl")
+        self._meta = os.path.join(directory, "meta.json")
+
+    # ------------------------------------------------------------------
+    # Opening / fingerprinting
+    # ------------------------------------------------------------------
+
+    def open(self, fingerprint: Dict[str, object], resume: bool) -> None:
+        """Prepare the directory for a run; validate meta and resume intent.
+
+        A fresh (non-resume) run into a directory that already holds
+        journal records is refused — overwriting a half-finished campaign
+        silently is exactly the data loss checkpoints exist to prevent.
+        """
+
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            os.makedirs(os.path.join(self.directory, "artifacts"), exist_ok=True)
+            os.makedirs(os.path.join(self.directory, "pairs"), exist_ok=True)
+            os.makedirs(os.path.join(self.directory, "hunts"), exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError("cannot create checkpoint directory %s: %s"
+                                  % (self.directory, exc))
+        existing = self._load_meta()
+        has_records = bool(self.records())
+        if resume:
+            if existing is None:
+                if has_records:
+                    raise CheckpointError(
+                        "checkpoint %s has journal records but no meta.json; "
+                        "refusing to resume from a corrupt checkpoint"
+                        % self.directory)
+                # Resuming into an empty directory degenerates to a fresh run.
+            elif existing.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    "checkpoint %s was written by a differently-configured "
+                    "campaign and cannot be resumed into this one\n"
+                    "  checkpoint: %s\n  this run:   %s"
+                    % (self.directory,
+                       json.dumps(existing.get("fingerprint"), sort_keys=True),
+                       json.dumps(fingerprint, sort_keys=True)))
+        elif has_records:
+            raise CheckpointError(
+                "checkpoint %s already contains journal records; pass "
+                "resume=True (soft campaign --resume) to continue it, or "
+                "point --checkpoint at a fresh directory" % self.directory)
+        try:
+            with open(self._meta, "w") as handle:
+                json.dump({"format": CHECKPOINT_FORMAT,
+                           "fingerprint": fingerprint}, handle, indent=2)
+                handle.write("\n")
+        except OSError as exc:
+            raise CheckpointError("cannot write checkpoint meta %s: %s"
+                                  % (self._meta, exc))
+
+    def _load_meta(self) -> Optional[Dict[str, object]]:
+        if not os.path.exists(self._meta):
+            return None
+        try:
+            with open(self._meta) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError("cannot read checkpoint meta %s: %s"
+                                  % (self._meta, exc))
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                "unsupported checkpoint format %r in %s (expected %r)"
+                % (data.get("format"), self._meta, CHECKPOINT_FORMAT))
+        return data
+
+    @staticmethod
+    def fingerprint_for(specs: Sequence[TestSpec], agents: Sequence[str],
+                        pairs: Sequence[Tuple[str, str]], strategy: Optional[str],
+                        incremental: bool, hybrid: bool) -> Dict[str, object]:
+        """The campaign-shape fingerprint recorded in ``meta.json``."""
+
+        return {
+            "tests": [[spec.key, spec.scale] for spec in specs],
+            "agents": sorted(agents),
+            "pairs": sorted([sorted(pair) for pair in pairs]),
+            "strategy": strategy,
+            "incremental": bool(incremental),
+            "hybrid": bool(hybrid),
+        }
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every journal record, oldest first; a truncated tail is dropped."""
+
+        if not os.path.exists(self._journal):
+            return []
+        try:
+            with open(self._journal) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise CheckpointError("cannot read checkpoint journal %s: %s"
+                                  % (self._journal, exc))
+        records: List[Dict[str, object]] = []
+        nonempty = [line for line in lines if line.strip()]
+        for index, line in enumerate(nonempty):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == len(nonempty) - 1:
+                    # The process died mid-append; the cell will simply re-run.
+                    continue
+                raise CheckpointError(
+                    "checkpoint journal %s line %d is not valid JSON"
+                    % (self._journal, index + 1))
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def terminal_cells(self) -> Dict[Cell, Dict[str, object]]:
+        """Last recorded state per cell (last record wins)."""
+
+        cells: Dict[Cell, Dict[str, object]] = {}
+        for record in self.records():
+            cell = record.get("cell")
+            if isinstance(cell, list) and cell:
+                cells[tuple(str(part) for part in cell)] = record
+        return cells
+
+    def completed_cells(self) -> Dict[Cell, Dict[str, object]]:
+        """Cells whose last recorded state is ``ok`` — the ones resume skips."""
+
+        return {cell: record for cell, record in self.terminal_cells().items()
+                if record.get("state") == "ok"}
+
+    def append(self, record: Dict[str, object]) -> None:
+        try:
+            with open(self._journal, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                handle.flush()
+        except OSError as exc:
+            raise CheckpointError("cannot append to checkpoint journal %s: %s"
+                                  % (self._journal, exc))
+
+    # ------------------------------------------------------------------
+    # Cell keys and payload paths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def phase1_cell(agent: str, spec: TestSpec) -> Cell:
+        return ("phase1", agent, spec.key, spec.scale)
+
+    @staticmethod
+    def pair_cell(spec: TestSpec, agent_a: str, agent_b: str) -> Cell:
+        return ("pair", spec.key, spec.scale, agent_a, agent_b)
+
+    @staticmethod
+    def hunt_cell(spec: TestSpec, agent_a: str, agent_b: str) -> Cell:
+        return ("hunt", spec.key, spec.scale, agent_a, agent_b)
+
+    def _phase1_path(self, agent: str, spec: TestSpec) -> str:
+        return os.path.join(self.directory, "artifacts", "phase1-%s-%s-%s.json"
+                            % (_slug(agent), _slug(spec.key), _slug(spec.scale)))
+
+    def _pair_path(self, spec: TestSpec, agent_a: str, agent_b: str) -> str:
+        return os.path.join(self.directory, "pairs", "pair-%s-%s-%s-vs-%s.json"
+                            % (_slug(spec.key), _slug(spec.scale),
+                               _slug(agent_a), _slug(agent_b)))
+
+    def _hunt_path(self, spec: TestSpec, agent_a: str, agent_b: str) -> str:
+        return os.path.join(self.directory, "hunts", "hunt-%s-%s-%s-vs-%s.json"
+                            % (_slug(spec.key), _slug(spec.scale),
+                               _slug(agent_a), _slug(agent_b)))
+
+    # ------------------------------------------------------------------
+    # Phase-1 payloads (standard exploration artifacts)
+    # ------------------------------------------------------------------
+
+    def save_phase1(self, report: AgentExplorationReport, spec: TestSpec) -> None:
+        try:
+            save_exploration_artifact(report, self._phase1_path(report.agent_name, spec))
+        except ArtifactError as exc:
+            raise CheckpointError(str(exc))
+
+    def load_phase1(self, agent: str, spec: TestSpec) -> AgentExplorationReport:
+        try:
+            return load_exploration_artifact(self._phase1_path(agent, spec))
+        except (ArtifactError, ReproError) as exc:
+            raise CheckpointError(
+                "checkpointed phase-1 artifact for %s on %s is unusable: %s"
+                % (agent, spec.key, exc))
+
+    def has_phase1(self, agent: str, spec: TestSpec) -> bool:
+        return os.path.exists(self._phase1_path(agent, spec))
+
+    # ------------------------------------------------------------------
+    # Pair payloads
+    # ------------------------------------------------------------------
+
+    def save_pair(self, spec: TestSpec, report: SoftReport) -> None:
+        crosscheck = report.crosscheck
+        payload = {
+            "format": PAIR_CELL_FORMAT,
+            "test": spec.key,
+            "scale": spec.scale,
+            "agent_a": report.agent_a,
+            "agent_b": report.agent_b,
+            "crosscheck": {
+                "queries": crosscheck.queries,
+                "unsat_pairs": crosscheck.unsat_pairs,
+                "unknown_pairs": crosscheck.unknown_pairs,
+                "checking_time": crosscheck.checking_time,
+                "identical_output_pairs": crosscheck.identical_output_pairs,
+                "truncated": crosscheck.truncated,
+                "solver_stats": _json_safe(crosscheck.solver_stats),
+                "inconsistencies": [
+                    {
+                        "trace_a": inc.trace_a.to_obj(),
+                        "trace_b": inc.trace_b.to_obj(),
+                        "condition": expr_to_obj(inc.condition),
+                        "example": {str(k): int(v) for k, v in inc.example.items()},
+                        "solver_time": inc.solver_time,
+                    }
+                    for inc in crosscheck.inconsistencies
+                ],
+            },
+            "replays_diverged": [bool(replay.diverged) for replay in report.replays],
+            "witnesses": [witness.to_dict() for witness in report.witnesses],
+            "total_time": report.total_time,
+        }
+        path = self._pair_path(spec, report.agent_a, report.agent_b)
+        try:
+            with open(path, "w") as handle:
+                json.dump(payload, handle)
+                handle.write("\n")
+        except OSError as exc:
+            raise CheckpointError("cannot write pair payload %s: %s" % (path, exc))
+
+    def load_pair(self, spec: TestSpec, agent_a: str, agent_b: str,
+                  entry_a, entry_b) -> SoftReport:
+        """Rebuild one checkpointed pair report against cached explorations.
+
+        *entry_a*/*entry_b* are the (restored) exploration-cache entries for
+        the two agents; the pair payload only stores Phase-2 output.
+        """
+
+        path = self._pair_path(spec, agent_a, agent_b)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError("cannot read pair payload %s: %s" % (path, exc))
+        if data.get("format") != PAIR_CELL_FORMAT:
+            raise CheckpointError("unsupported pair payload format %r in %s"
+                                  % (data.get("format"), path))
+        try:
+            check = data["crosscheck"]
+            inconsistencies = [
+                Inconsistency(
+                    agent_a=agent_a,
+                    agent_b=agent_b,
+                    trace_a=OutputTrace.from_obj(obj["trace_a"]),
+                    trace_b=OutputTrace.from_obj(obj["trace_b"]),
+                    condition=bool_expr_from_obj(obj["condition"]),
+                    example={str(k): int(v) for k, v in obj.get("example", {}).items()},
+                    solver_time=float(obj.get("solver_time", 0.0)),
+                )
+                for obj in check.get("inconsistencies", [])
+            ]
+            crosscheck = CrosscheckReport(
+                agent_a=agent_a,
+                agent_b=agent_b,
+                test_key=spec.key,
+                inconsistencies=inconsistencies,
+                queries=int(check.get("queries", 0)),
+                unsat_pairs=int(check.get("unsat_pairs", 0)),
+                unknown_pairs=int(check.get("unknown_pairs", 0)),
+                checking_time=float(check.get("checking_time", 0.0)),
+                identical_output_pairs=int(check.get("identical_output_pairs", 0)),
+                truncated=bool(check.get("truncated", False)),
+                solver_stats=dict(check.get("solver_stats", {})),
+            )
+            witnesses = [Witness.from_dict(obj) for obj in data.get("witnesses", [])]
+            replays = [_RestoredReplay(flag)
+                       for flag in data.get("replays_diverged", [])]
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            raise CheckpointError("malformed pair payload %s: %s" % (path, exc))
+        return SoftReport(
+            test_key=spec.key,
+            agent_a=agent_a,
+            agent_b=agent_b,
+            exploration_a=entry_a.report,
+            exploration_b=entry_b.report,
+            grouped_a=entry_a.grouped,
+            grouped_b=entry_b.grouped,
+            crosscheck=crosscheck,
+            testcases=[],
+            replays=replays,  # type: ignore[arg-type]
+            witnesses=witnesses,
+            total_time=float(data.get("total_time", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Hunt payloads (hybrid mode)
+    # ------------------------------------------------------------------
+
+    def save_hunt(self, spec: TestSpec, hunt) -> None:
+        payload = {
+            "format": HUNT_CELL_FORMAT,
+            "test": spec.key,
+            "scale": spec.scale,
+            "agent_a": hunt.agent_a,
+            "agent_b": hunt.agent_b,
+            "stats": hunt.stats.as_dict(),
+            "witnesses": [witness.to_dict() for witness in hunt.witnesses],
+            "coverage": hunt.coverage,
+            "corpus_saved": hunt.corpus_saved,
+        }
+        path = self._hunt_path(spec, hunt.agent_a, hunt.agent_b)
+        try:
+            with open(path, "w") as handle:
+                json.dump(payload, handle)
+                handle.write("\n")
+        except OSError as exc:
+            raise CheckpointError("cannot write hunt payload %s: %s" % (path, exc))
+
+    def load_hunt(self, spec: TestSpec, agent_a: str, agent_b: str):
+        from repro.core.witness import TriageIndex
+        from repro.hybrid.scheduler import HuntReport, HybridStats
+
+        path = self._hunt_path(spec, agent_a, agent_b)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError("cannot read hunt payload %s: %s" % (path, exc))
+        if data.get("format") != HUNT_CELL_FORMAT:
+            raise CheckpointError("unsupported hunt payload format %r in %s"
+                                  % (data.get("format"), path))
+        try:
+            witnesses = [Witness.from_dict(obj) for obj in data.get("witnesses", [])]
+            stats = HybridStats.from_dict(data.get("stats", {}))
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            raise CheckpointError("malformed hunt payload %s: %s" % (path, exc))
+        index = TriageIndex()
+        index.add_all(witnesses)
+        return HuntReport(
+            test_key=spec.key,
+            agent_a=agent_a,
+            agent_b=agent_b,
+            stats=stats,
+            triage=index.report(triage_time=stats.wall_time),
+            witnesses=witnesses,
+            coverage=data.get("coverage"),
+            corpus_saved=int(data.get("corpus_saved", 0)),
+        )
+
+
+def _json_safe(value):
+    """Best-effort JSON projection of stats dicts (drops exotic values)."""
+
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        pass
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)

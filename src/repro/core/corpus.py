@@ -28,6 +28,7 @@ from repro.core.testcase import AgentFactory, resolve_agent_factory
 from repro.core.witness import Witness, WitnessCluster
 from repro.errors import CorpusError, ReproError
 from repro.harness.driver import run_concrete_sequence
+from repro.testing.faults import fault_point
 
 __all__ = ["WitnessCorpus", "CorpusRunReport", "CorpusEntryResult"]
 
@@ -50,7 +51,9 @@ class CorpusEntryResult:
     #: ``trace-changed`` — same signature but the traces themselves moved;
     #: ``signature-drift`` — still diverging, but elsewhere / differently;
     #: ``stale`` — no divergence any more (the regression-suite failure);
-    #: ``error`` — the bundle could not be replayed at all.
+    #: ``corrupt`` — the bundle file is truncated or not a witness bundle
+    #: (skipped and recorded; one bad file never aborts the whole run);
+    #: ``error`` — the bundle loaded but could not be replayed.
     status: str
     detail: str = ""
     wall_time: float = 0.0
@@ -97,6 +100,10 @@ class CorpusRunReport:
         return [entry for entry in self.entries if entry.status == "error"]
 
     @property
+    def corrupt(self) -> List[CorpusEntryResult]:
+        return [entry for entry in self.entries if entry.status == "corrupt"]
+
+    @property
     def witnesses_per_sec(self) -> float:
         return self.replayed / self.wall_time if self.wall_time > 0 else 0.0
 
@@ -113,6 +120,7 @@ class CorpusRunReport:
             "trace_changed": self.count("trace-changed"),
             "signature_drift": self.count("signature-drift"),
             "stale": self.count("stale"),
+            "corrupt": self.count("corrupt"),
             "errors": self.count("error"),
             "wall_time": self.wall_time,
             "witnesses_per_sec": self.witnesses_per_sec,
@@ -136,6 +144,9 @@ class CorpusRunReport:
             parts = []
             if self.stale:
                 parts.append("%d stored witness(es) no longer diverge" % len(self.stale))
+            if self.corrupt:
+                parts.append("%d bundle(s) corrupt/truncated (skipped)"
+                             % len(self.corrupt))
             if self.errors:
                 parts.append("%d bundle(s) could not be replayed" % len(self.errors))
             lines.append("  FAIL: " + ", ".join(parts))
@@ -205,6 +216,11 @@ class WitnessCorpus:
             if existing is not None and existing.size_key() <= witness.size_key():
                 return path, False
         save_witness_bundle(witness, path)
+        if fault_point("corpus.save", path) == "corrupt":
+            # Injected fault: die mid-write, leaving a truncated bundle.
+            with open(path, "w") as handle:
+                handle.write('{"format": "soft/witness-bundle/v1", "tr')
+            self._bundle_cache.pop(path, None)
         return path, True
 
     def add_clusters(self, clusters: List[WitnessCluster],
@@ -225,6 +241,7 @@ class WitnessCorpus:
 
         from repro.core.artifacts import load_witness_bundle
 
+        fault_point("corpus.load", path)
         try:
             stat = os.stat(path)
             stamp: Optional[Tuple[float, int]] = (stat.st_mtime, stat.st_size)
@@ -273,8 +290,11 @@ class WitnessCorpus:
         try:
             witness = self._load_bundle(path)
         except (ReproError, ValueError, KeyError, TypeError) as exc:
+            # A truncated or garbage file is recorded and skipped; the rest
+            # of the corpus still replays (the run still reports not-ok).
             return CorpusEntryResult(path=path, test_key="?", agent_a="?", agent_b="?",
-                                     status="error", detail="unreadable bundle: %s" % exc)
+                                     status="corrupt",
+                                     detail="corrupt bundle: %s" % exc)
         result = CorpusEntryResult(path=path, test_key=witness.test_key,
                                    agent_a=witness.agent_a, agent_b=witness.agent_b,
                                    status="error")

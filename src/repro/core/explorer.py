@@ -28,6 +28,7 @@ from repro.symbex.engine import (
 from repro.symbex.expr import BoolExpr
 from repro.symbex.solver import Solver, SolverConfig
 from repro.symbex.strategies import make_strategy
+from repro.testing.faults import fault_point
 
 __all__ = ["PathOutcome", "AgentExplorationReport", "explore_agent"]
 
@@ -214,6 +215,7 @@ def explore_agent(agent: AgentSpec,
 
     agent_name, factory = _resolve_agent_factory(agent)
     spec = get_test(test) if isinstance(test, str) else test
+    fault_point("phase1", "%s:%s" % (agent_name, spec.key))
 
     config = engine_config if engine_config is not None else EngineConfig()
     if strategy is not None and strategy != config.strategy:

@@ -124,6 +124,18 @@ class AgentRegistrationError(AgentError):
     """
 
 
+class UnknownAgentError(AgentError, KeyError):
+    """A name was looked up in the agent registry but nothing is registered.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError`` call
+    sites keep working; new code should catch :class:`AgentError` (or
+    :class:`ReproError`) instead.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its message; undo that.
+        return self.args[0] if self.args else KeyError.__str__(self)
+
+
 # ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
@@ -162,6 +174,25 @@ class ArtifactError(PipelineError):
 
 class CampaignError(PipelineError):
     """A campaign was configured inconsistently (agents, tests or pairs)."""
+
+
+class CellTimeoutError(PipelineError):
+    """A campaign cell (one Phase-1 unit, crosscheck pair or hybrid hunt)
+    exceeded its wall-clock deadline and was abandoned by the supervisor."""
+
+
+class WorkerCrashError(PipelineError):
+    """A campaign worker died (killed process, broken pool, injected kill).
+
+    Distinct from :class:`CellTimeoutError` and from an ordinary in-cell
+    exception: the *executor*, not the cell's own code, failed.  Campaigns
+    record cells that keep crashing as terminal state ``crashed``.
+    """
+
+
+class CheckpointError(PipelineError):
+    """A campaign checkpoint could not be created, read or resumed from
+    (unwritable directory, truncated journal, incompatible fingerprint)."""
 
 
 class WitnessError(PipelineError):

@@ -181,6 +181,22 @@ class StageStats:
             "divergences_per_sec": self.divergences / spent,
         }
 
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, object]) -> "StageStats":
+        """Rebuild from :meth:`as_dict` output (derived rates are recomputed)."""
+
+        return cls(
+            name=name,
+            slices=int(data.get("slices", 0)),
+            time_spent=float(data.get("time_spent", 0.0)),
+            inputs_run=int(data.get("inputs_run", 0)),
+            divergences=int(data.get("divergences", 0)),
+            new_clusters=int(data.get("new_clusters", 0)),
+            new_coverage_units=int(data.get("new_coverage_units", 0)),
+            new_target_sites=int(data.get("new_target_sites", 0)),
+            seeds_added=int(data.get("seeds_added", 0)),
+        )
+
 
 @dataclass
 class HybridStats:
@@ -205,6 +221,23 @@ class HybridStats:
             "concolic": self.concolic,
             "targets": self.targets,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HybridStats":
+        """Rebuild from :meth:`as_dict` output (campaign checkpoint restore)."""
+
+        return cls(
+            budget=float(data.get("budget", 0.0)),
+            wall_time=float(data.get("wall_time", 0.0)),
+            slices=int(data.get("slices", 0)),
+            stages={str(name): StageStats.from_dict(str(name), stage)
+                    for name, stage in dict(data.get("stages", {})).items()},
+            seed_pool=dict(data.get("seed_pool", {})),
+            concolic={str(k): float(v)
+                      for k, v in dict(data.get("concolic", {})).items()},
+            targets={str(k): int(v)
+                     for k, v in dict(data.get("targets", {})).items()},
+        )
 
 
 @dataclass

@@ -36,6 +36,7 @@ from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.cnf import CNFBuilder
 from repro.symbex.solver.model import complete_model, extract_model, require_verified
 from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.testing.faults import fault_point
 
 __all__ = ["Solver", "SolverConfig", "SolverStats", "SatResult", "merge_stat_dicts"]
 
@@ -168,6 +169,7 @@ class Solver:
     def check(self, constraints: Iterable[BoolExpr]) -> SatResult:
         """Decide satisfiability of the conjunction of *constraints*."""
 
+        fault_point("solver.check")
         started = time.perf_counter()
         constraints = [self._coerce(c) for c in constraints]
         result = self._check_inner(constraints)

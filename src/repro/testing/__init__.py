@@ -1,0 +1,36 @@
+"""Deterministic chaos-testing utilities for the repro stack.
+
+This package ships with the library (not just the test suite) so that CI
+jobs, examples and downstream users can drive the same fault-injection
+harness the campaign runtime is verified with::
+
+    from repro.testing import FaultPlan, FaultSpec, installed_fault_plan
+
+    plan = FaultPlan([FaultSpec(site="phase1", kind="hang", match="ovs")])
+    with installed_fault_plan(plan):
+        Campaign(...).run()
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_point,
+    install_fault_plan,
+    installed_fault_plan,
+    load_fault_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "fault_point",
+    "install_fault_plan",
+    "installed_fault_plan",
+    "load_fault_plan",
+]

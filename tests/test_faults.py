@@ -1,0 +1,376 @@
+"""Tests of the fault-tolerant campaign runtime and the injection harness.
+
+Covers the acceptance scenario of the robustness work: a campaign with a
+planted hanging agent and a planted crashing agent finishes within the
+``cell_timeout x retries`` envelope, reports structured ``JobFailure``
+records for exactly the faulty cells, and a ``--resume`` run converges
+to the same inconsistency set as an uninterrupted campaign.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.campaign import (
+    Campaign,
+    EXIT_CRASHED,
+    EXIT_FAILURES,
+    EXIT_OK,
+)
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.corpus import WitnessCorpus
+from repro.core.jobs import CampaignJob, JobSupervisor, RetryPolicy
+from repro.errors import CheckpointError
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    installed_fault_plan,
+    load_fault_plan,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault harness
+# ---------------------------------------------------------------------------
+
+def test_fault_plan_fires_at_exact_hit_indices():
+    plan = FaultPlan([FaultSpec(site="s", kind="raise", hits=(2,))])
+    with installed_fault_plan(plan):
+        fault_point("s")  # hit 1: no effect
+        with pytest.raises(InjectedFault):
+            fault_point("s")  # hit 2: fires
+        fault_point("s")  # hit 3: no effect again
+    assert plan.fired == [("s", "", "raise", 2)]
+    # Context matching is substring-based; a non-matching context does not
+    # advance the counter of the matched spec.
+    plan2 = FaultPlan([FaultSpec(site="s", kind="raise", match="ovs", hits=(1,))])
+    with installed_fault_plan(plan2):
+        fault_point("s", "reference:concrete")
+        with pytest.raises(InjectedFault):
+            fault_point("s", "ovs:concrete")
+
+
+def test_fault_plan_json_round_trip(tmp_path):
+    plan = FaultPlan([
+        FaultSpec(site="phase1", kind="hang", match="ovs", hits=(1, 2),
+                  duration=9.0),
+        FaultSpec(site="corpus.save", kind="corrupt"),
+    ], seed=7)
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    loaded = load_fault_plan(str(path))
+    assert [s.to_dict() for s in loaded.specs] == [s.to_dict() for s in plan.specs]
+    assert loaded.seed == 7
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        load_fault_plan(str(bad))
+    with pytest.raises(ValueError):
+        FaultSpec(site="s", kind="explode")
+
+
+def test_fault_plan_corrupt_directive_is_returned_not_raised():
+    plan = FaultPlan([FaultSpec(site="corpus.save", kind="corrupt")])
+    with installed_fault_plan(plan):
+        assert fault_point("corpus.save", "/tmp/x.json") == "corrupt"
+        assert fault_point("corpus.save", "/tmp/x.json") is None  # hit 2
+    assert fault_point("corpus.save") is None  # no plan installed
+
+
+# ---------------------------------------------------------------------------
+# Retry policy and supervisor
+# ---------------------------------------------------------------------------
+
+def test_retry_policy_backoff_grows_and_caps():
+    policy = RetryPolicy(retries=5, backoff_base=0.1, backoff_factor=2.0,
+                         backoff_max=0.5, jitter=0.0)
+    delays = [policy.delay(attempt, random.Random(0)) for attempt in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.4, 0.5]  # capped at backoff_max
+    jittered = RetryPolicy(jitter=0.5).delay(1, random.Random(0))
+    assert 0.05 <= jittered <= 0.075
+    assert policy.max_attempts == 6
+
+
+def test_supervisor_retries_flaky_job_then_succeeds():
+    failures = {"left": 1}
+
+    def flaky():
+        if failures["left"]:
+            failures["left"] -= 1
+            raise RuntimeError("transient")
+        return "value"
+
+    supervisor = JobSupervisor(retry=RetryPolicy(retries=2, backoff_base=0.001,
+                                                 jitter=0.0))
+    job = CampaignJob(kind="phase1", key=("phase1", "x"), thread_fn=flaky)
+    results = supervisor.run([job])
+    assert results[0].state == "ok" and results[0].value == "value"
+    assert job.attempts == 2
+
+
+def test_supervisor_abandons_hanging_job_at_deadline():
+    def hang():
+        time.sleep(30.0)
+
+    supervisor = JobSupervisor(cell_timeout=0.2,
+                               retry=RetryPolicy(retries=0, jitter=0.0))
+    started = time.monotonic()
+    results = supervisor.run([
+        CampaignJob(kind="phase1", key=("phase1", "hung"), thread_fn=hang),
+        CampaignJob(kind="phase1", key=("phase1", "fine"), thread_fn=lambda: 1),
+    ])
+    wall = time.monotonic() - started
+    assert wall < 5.0  # did NOT wait the 30s out
+    assert results[0].state == "timed_out"
+    assert results[0].failure.error_type == "CellTimeoutError"
+    assert results[1].state == "ok"
+    assert supervisor.abandoned_attempts == 1
+
+
+def test_supervisor_commits_results_on_caller_thread():
+    import threading
+
+    seen = []
+    supervisor = JobSupervisor()
+    supervisor.run([CampaignJob(kind="pair", key=("pair", "x"),
+                                thread_fn=lambda: 41)],
+                   on_result=lambda r: seen.append(threading.current_thread()))
+    assert seen == [threading.main_thread()]
+
+
+# ---------------------------------------------------------------------------
+# Campaign-level fault tolerance (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+def test_campaign_hanging_agent_is_killed_at_deadline():
+    plan = FaultPlan([FaultSpec(site="phase1", kind="hang",
+                                match="ovs:concrete", hits=(1, 2),
+                                duration=60.0)])
+    campaign = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                        replay_testcases=False, triage=False,
+                        cell_timeout=1.0, retries=1, fault_plan=plan)
+    started = time.monotonic()
+    report = campaign.run()
+    wall = time.monotonic() - started
+    # Both attempts abandoned at the 1s deadline; generous slack for CI.
+    assert wall < 1.0 * 2 + 8.0
+    assert report.exit_code == EXIT_FAILURES
+    assert report.job_states.get("timed_out") == 1
+    cells = {f.cell: f for f in report.job_failures}
+    assert cells["phase1/ovs/concrete/small"].state == "timed_out"
+    assert cells["phase1/ovs/concrete/small"].attempts == 2
+    # The dependent pair is skipped, not hung.
+    assert cells["pair/concrete/small/reference/ovs"].state == "skipped"
+    # The healthy agent's cell is untouched.
+    assert report.job_states.get("ok") == 1
+
+
+def test_campaign_crashing_agent_retries_then_fails_with_traceback():
+    plan = FaultPlan([FaultSpec(site="phase1", kind="raise",
+                                match="ovs:concrete", hits=(1, 2))])
+    report = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                      replay_testcases=False, triage=False,
+                      retries=1, fault_plan=plan).run()
+    assert report.exit_code == EXIT_FAILURES
+    failure = next(f for f in report.job_failures if f.state == "failed")
+    assert failure.cell == "phase1/ovs/concrete/small"
+    assert failure.attempts == 2
+    assert failure.error_type == "InjectedFault"
+    assert "InjectedFault" in failure.traceback
+
+
+def test_campaign_crashing_agent_recovers_within_retry_budget():
+    plan = FaultPlan([FaultSpec(site="phase1", kind="raise",
+                                match="ovs:concrete", hits=(1,))])
+    report = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                      replay_testcases=False, triage=False,
+                      retries=1, fault_plan=plan).run()
+    assert report.exit_code == EXIT_OK
+    assert report.job_failures == []
+    assert report.pair_count == 1
+    assert plan.fired  # the fault really did fire on attempt 1
+
+
+def test_campaign_in_process_worker_kill_is_isolated():
+    # In thread mode a "kill" cannot take the interpreter down; it surfaces
+    # as WorkerCrashError and the cell terminalizes as crashed (exit 3).
+    plan = FaultPlan([FaultSpec(site="phase1", kind="kill",
+                                match="ovs:concrete", hits=(1, 2))])
+    report = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                      replay_testcases=False, triage=False,
+                      retries=1, fault_plan=plan).run()
+    assert report.exit_code == EXIT_CRASHED
+    failure = next(f for f in report.job_failures if f.state == "crashed")
+    assert failure.error_type == "WorkerCrashError"
+
+
+def test_campaign_process_pool_kill_rebuilds_then_degrades():
+    # Counters restart in every worker process, so hits=(1,) kills every
+    # process attempt: the pool breaks, is rebuilt max_pool_rebuilds times,
+    # then the remaining cells degrade to threads where the same spec
+    # consumes one retry (WorkerCrashError) and the rerun succeeds.
+    plan = FaultPlan([FaultSpec(site="phase1", kind="kill",
+                                match="ovs:stats_request", hits=(1,))])
+    report = Campaign(tests=["stats_request"], agents=["reference", "ovs"],
+                      workers=2, executor="process",
+                      replay_testcases=False, triage=False,
+                      retries=2, fault_plan=plan).run()
+    assert report.exit_code == EXIT_OK
+    assert report.job_states.get("ok") == 3
+    kinds = {event.get("kind") for event in report.executor_degraded}
+    assert "process-pool-broken" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing and resume
+# ---------------------------------------------------------------------------
+
+def _pair_signature(report):
+    return sorted((r.test_key, r.agent_a, r.agent_b, r.inconsistency_count,
+                   r.grouped_a.distinct_output_count,
+                   r.grouped_b.distinct_output_count)
+                  for r in report.reports)
+
+
+def test_campaign_resume_converges_to_uninterrupted_result(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    plan = FaultPlan([FaultSpec(site="phase1", kind="raise",
+                                match="ovs:set_config", hits=(1, 2))])
+    crashed = Campaign(tests=["concrete", "set_config"],
+                       agents=["reference", "ovs"],
+                       replay_testcases=False, triage=False,
+                       retries=1, checkpoint_dir=ckpt, fault_plan=plan).run()
+    assert crashed.exit_code == EXIT_FAILURES
+    assert crashed.job_states.get("failed") == 1
+    assert crashed.job_states.get("skipped") == 1
+
+    # Resume without the fault plan: only the failed cell and its dependent
+    # pair are re-run; everything else is restored from the checkpoint.
+    resumed = Campaign(tests=["concrete", "set_config"],
+                       agents=["reference", "ovs"],
+                       replay_testcases=False, triage=False,
+                       checkpoint_dir=ckpt, resume=True).run()
+    assert resumed.exit_code == EXIT_OK
+    assert resumed.resumed_cells == 4  # 3 ok phase1 cells + 1 ok pair
+    assert resumed.explorations_run == 1
+
+    fresh = Campaign(tests=["concrete", "set_config"],
+                     agents=["reference", "ovs"],
+                     replay_testcases=False, triage=False).run()
+    assert _pair_signature(resumed) == _pair_signature(fresh)
+    assert resumed.total_inconsistencies == fresh.total_inconsistencies
+
+
+def test_campaign_resume_of_complete_run_does_no_work(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    first = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                     replay_testcases=False, triage=False,
+                     checkpoint_dir=ckpt).run()
+    assert first.exit_code == EXIT_OK
+    again = Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                     replay_testcases=False, triage=False,
+                     checkpoint_dir=ckpt, resume=True).run()
+    assert again.explorations_run == 0
+    assert again.resumed_cells == 3
+    assert _pair_signature(again) == _pair_signature(first)
+
+
+def test_checkpoint_refuses_mismatched_fingerprint(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    Campaign(tests=["concrete"], agents=["reference", "ovs"],
+             replay_testcases=False, triage=False,
+             checkpoint_dir=ckpt).run()
+    with pytest.raises(CheckpointError):
+        Campaign(tests=["set_config"], agents=["reference", "ovs"],
+                 replay_testcases=False, triage=False,
+                 checkpoint_dir=ckpt, resume=True).run()
+    # A fresh (non-resume) run refuses to silently clobber existing records.
+    with pytest.raises(CheckpointError):
+        Campaign(tests=["concrete"], agents=["reference", "ovs"],
+                 replay_testcases=False, triage=False,
+                 checkpoint_dir=ckpt).run()
+
+
+def test_checkpoint_journal_tolerates_truncated_tail(tmp_path):
+    directory = str(tmp_path / "ckpt")
+    checkpoint = CampaignCheckpoint(directory)
+    checkpoint.open(fingerprint={"k": 1}, resume=False)
+    checkpoint.append({"cell": ["phase1", "a"], "state": "ok"})
+    checkpoint.append({"cell": ["phase1", "b"], "state": "ok"})
+    with open(os.path.join(directory, "jobs.jsonl"), "a") as handle:
+        handle.write('{"cell": ["phase1", "c"], "sta')  # killed mid-append
+    assert set(checkpoint.completed_cells()) == {("phase1", "a"), ("phase1", "b")}
+
+
+# ---------------------------------------------------------------------------
+# Corpus corruption tolerance
+# ---------------------------------------------------------------------------
+
+def test_corpus_run_records_corrupt_bundle_and_continues(tmp_path):
+    corpus = WitnessCorpus(str(tmp_path / "corpus"))
+    garbage = os.path.join(corpus.directory, "zzz-broken.witness.json")
+    with open(garbage, "w") as handle:
+        handle.write('{"format": "soft/witness-bundle/v1", "tr')
+    report = corpus.run()
+    assert report.replayed == 1
+    assert not report.ok
+    assert [entry.status for entry in report.entries] == ["corrupt"]
+    assert report.to_dict()["corrupt"] == 1
+    assert "corrupt" in report.describe()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+def test_cli_resume_requires_checkpoint(capsys):
+    from repro.cli.main import main as cli_main
+
+    code = cli_main(["campaign", "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_cli_rejects_malformed_fault_plan(tmp_path, capsys):
+    from repro.cli.main import main as cli_main
+
+    bad = tmp_path / "plan.json"
+    bad.write_text("{broken")
+    code = cli_main(["campaign", "--tests", "concrete",
+                     "--agents", "reference,ovs",
+                     "--fault-plan", str(bad)])
+    assert code == 2
+    assert "fault plan" in capsys.readouterr().err
+
+
+def test_cli_campaign_reports_failures_and_degradation(tmp_path, capsys):
+    from repro.cli.main import main as cli_main
+
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps(FaultPlan([
+        FaultSpec(site="phase1", kind="raise", match="ovs:concrete",
+                  hits=(1, 2))]).to_dict()))
+    out = tmp_path / "report.json"
+    code = cli_main(["campaign", "--tests", "concrete",
+                     "--agents", "reference,ovs", "--no-triage",
+                     "--retries", "1", "--fault-plan", str(plan),
+                     "--json", str(out), "--quiet"])
+    assert code == 1
+    data = json.loads(out.read_text())
+    assert data["exit_code"] == 1
+    states = {f["state"] for f in data["job_failures"]}
+    assert states == {"failed", "skipped"}
+
+    # The "concrete" spec is closure-built and unpicklable, so asking for
+    # the process executor degrades every Phase-1 cell to threads — which
+    # the CLI must announce on stderr rather than hide.
+    code = cli_main(["campaign", "--tests", "concrete",
+                     "--agents", "reference,ovs", "--no-triage",
+                     "--executor", "process", "--workers", "2", "--quiet"])
+    assert code == 0
+    assert "executor degraded" in capsys.readouterr().err
