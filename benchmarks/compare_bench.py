@@ -40,6 +40,8 @@ METRICS = [
     ("BENCH_solver.json", "sat_core.propagations_per_sec", "SAT propagations/sec"),
     ("BENCH_solver.json", "intern.hit_rate", "Intern hit rate"),
     ("BENCH_solver.json", "end_to_end.speedup", "End-to-end speedup"),
+    ("BENCH_solver.json", "portfolio.routed.routed_win_rate", "Interval routed win rate"),
+    ("BENCH_solver.json", "portfolio.end_to_end.speedup", "Portfolio campaign speedup"),
     ("BENCH_triage.json", "corpus.replays_per_sec", "Corpus replays/sec"),
     ("BENCH_triage.json", "minimization.shrink_ratio", "Witness shrink ratio"),
     ("BENCH_triage.json", "triage.dedup_ratio", "Witness dedup ratio"),

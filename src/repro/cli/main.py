@@ -46,6 +46,7 @@ from repro.errors import (
     WitnessError,
 )
 from repro.hybrid.scheduler import ALL_STAGES, HybridConfig, HybridHunt
+from repro.symbex.solver import SolverConfig, backend_names
 from repro.symbex.strategies import strategy_names
 
 __all__ = ["main", "build_parser"]
@@ -86,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="test to explore (required unless --load is given)")
     explore.add_argument("--coverage", action="store_true",
                          help="also report instruction/branch coverage")
+    explore.add_argument("--backend", choices=backend_names(), default=None,
+                         help="solver backend for Phase-1 queries (default cdcl; "
+                              "'interval' is semi-decision and may give up on "
+                              "queries outside its fragment)")
     explore.add_argument("--strategy", choices=strategy_names(), default=None,
                          help="frontier discipline for Phase 1 (default: dfs); "
                               "all strategies explore the same path set")
@@ -137,6 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "minimization, clustering)")
     campaign.add_argument("--no-minimize", action="store_true",
                           help="triage without delta-minimization of witnesses")
+    campaign.add_argument("--backend", choices=backend_names(), default=None,
+                          help="solver backend for every phase (default cdcl, "
+                               "the reference CDCL configuration)")
+    campaign.add_argument("--portfolio", nargs="?", const="default", default=None,
+                          metavar="NAME[,NAME...]",
+                          help="race solver backends per query; with no value "
+                               "uses the model-deterministic default "
+                               "(interval,cdcl), a comma-separated list names "
+                               "explicit members")
     campaign.add_argument("--strategy", choices=strategy_names(), default=None,
                           help="Phase-1 frontier discipline (default: dfs)")
     campaign.add_argument("--cell-timeout", type=float, default=None,
@@ -360,8 +374,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
+        solver_config = (SolverConfig(backend=args.backend)
+                         if args.backend else None)
+
         def run_exploration():
             return explore_agent(args.agent, args.test,
+                                 solver_config=solver_config,
                                  with_coverage=args.coverage,
                                  strategy=args.strategy, workers=args.workers)
 
@@ -435,11 +453,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print("error: %s" % exc, file=sys.stderr)
             return 2
+    portfolio: object = False
+    if args.portfolio is not None:
+        portfolio = True if args.portfolio == "default" \
+            else _split_csv(args.portfolio)
     campaign = Campaign(workers=args.workers, executor=args.executor,
                         replay_testcases=not args.no_replay,
                         incremental=not args.no_incremental,
                         triage=not args.no_triage,
                         minimize=not args.no_minimize,
+                        backend=args.backend,
+                        portfolio=portfolio,
                         strategy=args.strategy,
                         cell_timeout=args.cell_timeout,
                         retries=args.retries,

@@ -44,7 +44,7 @@ import itertools
 import json
 import threading
 import time
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass, field as dataclass_field, replace as dataclass_replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.agents.registry import AGENT_REGISTRY
@@ -69,7 +69,14 @@ from repro.errors import CampaignError
 from repro.symbex.engine import EngineConfig
 from repro.symbex.expr import intern_table
 from repro.symbex.simplify import clear_simplify_cache, simplify_cache_stats
-from repro.symbex.solver import GroupEncoding, Solver, SolverConfig, merge_stat_dicts
+from repro.symbex.solver import (
+    DEFAULT_PORTFOLIO,
+    GroupEncoding,
+    Solver,
+    SolverConfig,
+    backend_names,
+    merge_stat_dicts,
+)
 
 __all__ = ["Campaign", "CampaignReport", "EncodingCache", "ExplorationCache"]
 
@@ -534,6 +541,8 @@ class Campaign:
                  executor: str = "thread",
                  engine_config: Optional[EngineConfig] = None,
                  solver_config: Optional[SolverConfig] = None,
+                 backend: Optional[str] = None,
+                 portfolio: Union[bool, Sequence[str]] = False,
                  with_coverage: bool = False,
                  build_testcases: bool = True,
                  replay_testcases: bool = True,
@@ -558,7 +567,13 @@ class Campaign:
         self.workers = max(1, int(workers))
         self.executor = executor
         self.engine_config = engine_config
-        self.solver_config = solver_config
+        #: *backend* / *portfolio* are conveniences over *solver_config*: they
+        #: derive one (or override the given one) so callers can switch the
+        #: decision procedure without spelling out a full SolverConfig.
+        #: ``portfolio=True`` enables the model-deterministic default race;
+        #: a sequence names explicit members.
+        self.solver_config = self._derive_solver_config(
+            solver_config, backend, portfolio)
         self.with_coverage = with_coverage
         self.build_testcases = build_testcases
         self.replay_testcases = replay_testcases
@@ -617,7 +632,7 @@ class Campaign:
         if strategy is not None:
             self.with_strategy(strategy)
         self.cache = ExplorationCache()
-        self.encodings = EncodingCache(solver_config)
+        self.encodings = EncodingCache(self.solver_config)
         if executor not in ("thread", "process"):
             raise CampaignError("executor must be 'thread' or 'process', got %r" % (executor,))
         if tests is not None:
@@ -629,6 +644,30 @@ class Campaign:
             self.with_agents(*agents)
         if pairs is not None:
             self.with_pairs(*pairs)
+
+    @staticmethod
+    def _derive_solver_config(solver_config: Optional[SolverConfig],
+                              backend: Optional[str],
+                              portfolio: Union[bool, Sequence[str]]
+                              ) -> Optional[SolverConfig]:
+        if backend is None and not portfolio:
+            return solver_config
+        if backend is not None and backend not in backend_names():
+            raise CampaignError("unknown solver backend %r (choose from: %s)"
+                                % (backend, ", ".join(backend_names())))
+        members: Tuple[str, ...] = ()
+        if portfolio is True:
+            members = DEFAULT_PORTFOLIO
+        elif portfolio:
+            members = tuple(portfolio)
+            for name in members:
+                if name not in backend_names():
+                    raise CampaignError(
+                        "unknown portfolio member %r (choose from: %s)"
+                        % (name, ", ".join(backend_names())))
+        base = solver_config if solver_config is not None else SolverConfig()
+        return dataclass_replace(base, backend=backend or base.backend,
+                                 portfolio=members or base.portfolio)
 
     # ------------------------------------------------------------------
     # Fluent configuration

@@ -217,7 +217,7 @@ def find_inconsistencies(grouped_a: GroupedResults, grouped_b: GroupedResults,
         }
     else:
         solver_stats = {"mode": "legacy"}
-        solver_stats.update(solver.stats.as_dict())
+        solver_stats.update(solver.stats_dict())
 
     return CrosscheckReport(
         agent_a=grouped_a.agent_name,

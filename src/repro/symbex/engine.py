@@ -349,12 +349,12 @@ class Engine:
             self._deadline = None
 
         solver_queries_before = self.solver.stats.queries
-        solver_stats_before = self.solver.stats.as_dict()
+        solver_stats_before = self.solver.stats_dict()
         simplify_before = simplify_cache_stats()
         compiled_before = compiled_cache_stats()
         oracle = self.oracle
         oracle_solves_before = oracle.stats.assumption_solves if oracle else 0
-        oracle_stats_before = oracle.stats_dict() if oracle else {}
+        oracle_stats_before = self._oracle_mode_stats() if oracle else {}
 
         records: List[PathRecord] = []
         path_id = 0
@@ -439,15 +439,29 @@ class Engine:
     _STATS_GAUGES = ("sat_variables", "sat_clauses", "max_query_time",
                      "model_pool_size")
 
+    def _oracle_mode_stats(self) -> Dict[str, float]:
+        """Oracle counters plus the concretization solver's portfolio ones.
+
+        Concretization queries go through ``self.solver`` even in oracle
+        mode, so its portfolio attribution (routed queries, per-backend
+        wins) must ride along in the same snapshot for the per-run delta
+        arithmetic to apply to it.
+        """
+
+        stats = self._oracle.stats_dict()
+        if self.solver.portfolio is not None:
+            stats.update(self.solver.portfolio.stats_dict())
+        return stats
+
     def _solver_stats_snapshot(self, concretize_queries: int,
                                before: Dict[str, float]) -> Dict[str, float]:
         """Per-run solver counters (a reused engine must not accumulate)."""
 
         if self._oracle is not None:
-            stats = self._oracle.stats_dict()
+            stats = self._oracle_mode_stats()
             mode = "prefix-oracle"
         else:
-            stats = self.solver.stats.as_dict()
+            stats = self.solver.stats_dict()
             mode = "legacy"
         for name, value in before.items():
             if name in self._STATS_GAUGES or name not in stats:

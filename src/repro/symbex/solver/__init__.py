@@ -16,6 +16,21 @@ from repro.symbex.solver.sat import SATSolver, SATStatus
 from repro.symbex.solver.cnf import CNFBuilder
 from repro.symbex.solver.bitblast import BitBlaster
 from repro.symbex.solver.model import extract_model, verify_model
+from repro.symbex.solver.backends import (
+    ALT_CDCL_KNOBS,
+    BackendCapabilityError,
+    CancellationToken,
+    CDCLBackend,
+    DEFAULT_PORTFOLIO,
+    IntervalBackend,
+    PortfolioAnswer,
+    PortfolioSolver,
+    SolverBackend,
+    backend_info,
+    backend_names,
+    classify_query,
+    make_backend,
+)
 from repro.symbex.solver.solver import (
     SatResult,
     Solver,
@@ -31,6 +46,19 @@ __all__ = [
     "SATStatus",
     "CNFBuilder",
     "BitBlaster",
+    "ALT_CDCL_KNOBS",
+    "BackendCapabilityError",
+    "CancellationToken",
+    "CDCLBackend",
+    "DEFAULT_PORTFOLIO",
+    "IntervalBackend",
+    "PortfolioAnswer",
+    "PortfolioSolver",
+    "SolverBackend",
+    "backend_info",
+    "backend_names",
+    "classify_query",
+    "make_backend",
     "extract_model",
     "verify_model",
     "SatResult",

@@ -1,0 +1,104 @@
+"""Pluggable satisfiability backends behind one declare/assert/check surface.
+
+The registry maps stable names to factories:
+
+* ``cdcl`` — the reference CDCL configuration (identical to the historical
+  inlined SAT-core path; all other backends are differentially checked
+  against it),
+* ``cdcl-alt`` — a diversity CDCL configuration for portfolio racing
+  (aggressive restarts, no phase saving, small learned DB),
+* ``interval`` — the word-level unsigned-interval engine as a cheap
+  semi-decision backend (SAT/UNSAT when conclusive, UNKNOWN otherwise).
+
+``DEFAULT_PORTFOLIO`` is ``("interval", "cdcl")`` — deliberately *not*
+including ``cdcl-alt``: racing two complete CDCL engines yields
+timing-dependent SAT models, and path exploration concretizes values out of
+models, so the default portfolio is restricted to members whose models are
+bit-identical to the reference pipeline's.  Configurations including
+``cdcl-alt`` are for status-only workloads (the differential sweep, the
+query-corpus benchmark) and explicit opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SolverError
+from repro.symbex.solver.backends.base import (
+    BackendCapabilityError,
+    CancellationToken,
+    SolverBackend,
+)
+from repro.symbex.solver.backends.cdcl import ALT_CDCL_KNOBS, CDCLBackend
+from repro.symbex.solver.backends.interval import IntervalBackend
+from repro.symbex.solver.backends.portfolio import PortfolioAnswer, PortfolioSolver
+from repro.symbex.solver.backends.routing import (
+    QueryFeatures,
+    RouteTable,
+    classify_query,
+)
+
+__all__ = [
+    "ALT_CDCL_KNOBS",
+    "BackendCapabilityError",
+    "CDCLBackend",
+    "CancellationToken",
+    "DEFAULT_PORTFOLIO",
+    "IntervalBackend",
+    "PortfolioAnswer",
+    "PortfolioSolver",
+    "QueryFeatures",
+    "RouteTable",
+    "SolverBackend",
+    "backend_info",
+    "backend_names",
+    "classify_query",
+    "make_backend",
+]
+
+#: The model-deterministic default race (see module docstring).
+DEFAULT_PORTFOLIO: Tuple[str, ...] = ("interval", "cdcl")
+
+#: name -> (capabilities); factories live in :func:`make_backend` so the
+#: reference backend can absorb per-config SAT knobs.
+_CAPABILITIES: Dict[str, Dict[str, bool]] = {
+    "cdcl": {"incremental": True, "complete": True, "cheap": False},
+    "cdcl-alt": {"incremental": True, "complete": True, "cheap": False},
+    "interval": {"incremental": False, "complete": False, "cheap": True},
+}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered backend names, stable order (CLI choices, docs)."""
+
+    return tuple(sorted(_CAPABILITIES))
+
+
+def backend_info(name: str) -> Dict[str, bool]:
+    """Capability flags of *name* without constructing an instance."""
+
+    try:
+        return dict(_CAPABILITIES[name])
+    except KeyError:
+        raise SolverError("unknown solver backend %r (registered: %s)"
+                          % (name, ", ".join(backend_names())))
+
+
+def make_backend(name: str,
+                 sat_knobs: Optional[Dict[str, object]] = None) -> SolverBackend:
+    """Build a fresh backend instance.
+
+    *sat_knobs* configures the **reference** CDCL backend only (it carries
+    the ``SolverConfig`` SAT-core knobs so ``cdcl`` stays bit-identical to
+    the historical inlined path); ``cdcl-alt`` pins its own diversity knobs
+    and ``interval`` has none.
+    """
+
+    if name == "cdcl":
+        return CDCLBackend("cdcl", **(sat_knobs or {}))
+    if name == "cdcl-alt":
+        return CDCLBackend("cdcl-alt", **ALT_CDCL_KNOBS)
+    if name == "interval":
+        return IntervalBackend()
+    raise SolverError("unknown solver backend %r (registered: %s)"
+                      % (name, ", ".join(backend_names())))

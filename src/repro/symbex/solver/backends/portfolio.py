@@ -1,0 +1,303 @@
+"""Portfolio racing: per-query backend selection + thread-pool races.
+
+Strategy, in priority order:
+
+1. **Route** — :func:`classify_query` features plus the learned
+   :class:`RouteTable` send interval-friendly queries to the cheap
+   word-level backend inline (no threads).  A conclusive answer ends the
+   query there; an UNKNOWN falls through and demotes the feature bucket.
+2. **Direct** — with a single expensive member remaining there is nothing
+   to race; call it on the query thread.
+3. **Race** — two or more CDCL members run concurrently on a small thread
+   pool, each with its own :class:`CancellationToken`.  The first
+   *conclusive* (SAT/UNSAT) answer wins and cancels the rest; losers unwind
+   through the SAT core's budget-exhaustion path, leaving their incremental
+   state reusable.
+
+Determinism note: the default portfolio is ``("interval", "cdcl")``, which
+never actually races — the interval model equals the legacy inline
+pre-check's verified candidate and the CDCL model equals the reference
+backend's, so path exploration (which concretizes values out of SAT models)
+is bit-identical to a single-backend run.  Configurations that include
+``cdcl-alt`` do race; their *verdicts* are still identical (both engines are
+sound and complete) but SAT models may differ between runs, so such configs
+are for status-only workloads and explicit opt-in.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+from repro.symbex.expr import BoolExpr
+from repro.symbex.solver.backends.base import CancellationToken, SolverBackend
+from repro.symbex.solver.backends.routing import QueryClassifier, RouteTable
+from repro.symbex.solver.sat import SATStatus
+
+__all__ = ["PortfolioAnswer", "PortfolioSolver"]
+
+_CONCLUSIVE = (SATStatus.SAT, SATStatus.UNSAT)
+
+
+class PortfolioAnswer:
+    """Outcome of one portfolio query, with attribution for the bench layer."""
+
+    __slots__ = ("status", "model", "backend", "routed", "raced", "verified")
+
+    def __init__(self, status: str, model: Optional[Dict[str, int]],
+                 backend: str, routed: bool, raced: bool,
+                 verified: bool = False) -> None:
+        self.status = status
+        self.model = model
+        self.backend = backend
+        self.routed = routed
+        self.raced = raced
+        #: The model already passed concrete evaluation inside the backend
+        #: (interval wins); callers may skip their own re-verification.
+        self.verified = verified
+
+
+class _ResultBox:
+    """First-conclusive-answer-wins rendezvous between racer threads.
+
+    All mutation happens under ``self._lock``; :meth:`wait` blocks the query
+    thread until a winner is posted or every racer has reported in.
+    """
+
+    def __init__(self, racers: int) -> None:
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._pending = racers
+        self._winner: Optional[Tuple[str, str, Optional[Dict[str, int]]]] = None
+        self._error: Optional[BaseException] = None
+
+    def post(self, backend_name: str, status: str,
+             model: Optional[Dict[str, int]]) -> bool:
+        """Report one racer's answer; returns True iff it won the race."""
+
+        with self._lock:
+            self._pending -= 1
+            won = self._winner is None and status in _CONCLUSIVE
+            if won:
+                self._winner = (backend_name, status, model)
+            if won or self._pending == 0:
+                self._done.notify_all()
+            return won
+
+    def post_error(self, error: BaseException) -> None:
+        with self._lock:
+            self._pending -= 1
+            if self._error is None:
+                self._error = error
+            if self._pending == 0:
+                self._done.notify_all()
+
+    def wait(self) -> Tuple[str, str, Optional[Dict[str, int]]]:
+        """Block until a winner exists or all racers finished; may re-raise."""
+
+        with self._lock:
+            while self._winner is None and self._pending > 0:
+                self._done.wait()
+            if self._winner is not None:
+                return self._winner
+            if self._error is not None:
+                raise self._error
+            return ("", SATStatus.UNKNOWN, None)
+
+
+class PortfolioSolver:
+    """Race/route one-shot queries across a fixed set of backend factories.
+
+    The portfolio owns no backend state between queries: every query builds
+    fresh backend instances from the factories (matching the one-shot
+    ``Solver`` discipline, where learned clauses must not leak across
+    unrelated queries).  What persists is the learned route table and the
+    win/route accounting.
+    """
+
+    def __init__(self, members, factory, route_queries: bool = True) -> None:
+        """``members`` are backend names; ``factory(name)`` builds instances."""
+
+        if not members:
+            raise SolverError("portfolio needs at least one backend")
+        self._members: Tuple[str, ...] = tuple(members)
+        self._factory = factory
+        #: Capability probe, paid once: which members run inline vs race.
+        self._cheap = {name: factory(name).cheap for name in self._members}
+        self._route = RouteTable() if route_queries else None
+        self._classifier = QueryClassifier() if route_queries else None
+        self._routing = route_queries
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stats_lock = threading.Lock()
+        self.wins: Dict[str, int] = {name: 0 for name in self._members}
+        self.routed_queries = 0
+        self.routed_wins = 0
+        self.race_queries = 0
+        self.cancelled_racers = 0
+        self.queries = 0
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return self._members
+
+    def is_cheap(self, name: str) -> bool:
+        """Whether *name* runs inline (routed) rather than on a racer thread."""
+
+        return self._cheap[name]
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _pool(self, size: int) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(2, size),
+                thread_name_prefix="portfolio-racer")
+        return self._executor
+
+    def _fresh(self, name: str) -> SolverBackend:
+        return self._factory(name)
+
+    def _run_one(self, name: str, constraints: Sequence[BoolExpr],
+                 max_conflicts: Optional[int],
+                 cancel: Optional[CancellationToken]):
+        backend = self._fresh(name)
+        for constraint in constraints:
+            backend.assert_formula(constraint)
+        status = backend.check_sat(max_conflicts=max_conflicts, cancel=cancel)
+        model = backend.get_value() if status == SATStatus.SAT else None
+        return status, model
+
+    def _race(self, names: Sequence[str], constraints: Sequence[BoolExpr],
+              max_conflicts: Optional[int]) -> Tuple[str, str,
+                                                     Optional[Dict[str, int]]]:
+        box = _ResultBox(len(names))
+        tokens = {name: CancellationToken() for name in names}
+
+        def racer(name: str) -> None:
+            try:
+                status, model = self._run_one(
+                    name, constraints, max_conflicts, tokens[name])
+            # soft-lint: disable=broad-except -- forwarded to the query thread
+            except BaseException as exc:
+                # Racer threads must surface ANY failure (SolverError or an
+                # internal invariant violation) instead of dying silently in
+                # the pool; box.wait() re-raises it on the query thread.
+                box.post_error(exc)
+                return
+            if box.post(name, status, model):
+                for other, token in tokens.items():
+                    if other != name:
+                        token.cancel()
+
+        pool = self._pool(len(names))
+        for name in names:
+            pool.submit(racer, name)
+        winner, status, model = box.wait()
+        with self._stats_lock:
+            self.race_queries += 1
+            if winner:
+                self.cancelled_racers += len(names) - 1
+        return winner, status, model
+
+    # -- the public query surface --------------------------------------------
+
+    def check(self, constraints: Sequence[BoolExpr],
+              max_conflicts: Optional[int] = None) -> PortfolioAnswer:
+        """Decide ``conj(constraints)``, attributing the answer to a backend."""
+
+        remaining = list(self._members)
+        features = (self._classifier.classify(constraints)
+                    if self._routing else None)
+        routed_attempts = 0
+
+        # Stage 1: cheap backends inline — routed if the table says so,
+        # skipped entirely otherwise (that skip is the portfolio's main win
+        # over the reference pipeline, which pays the interval pre-analysis
+        # on every query).
+        for name in list(remaining):
+            if not self._cheap[name]:
+                continue
+            remaining.remove(name)
+            if features is not None and self._route is not None:
+                if not self._route.route_to_interval(features):
+                    continue
+            backend = self._fresh(name)
+            for constraint in constraints:
+                backend.assert_formula(constraint)
+            status = backend.check_sat(max_conflicts=max_conflicts)
+            conclusive = status in _CONCLUSIVE
+            if features is not None and self._route is not None:
+                self._route.record(features, conclusive)
+            routed_attempts += 1
+            if conclusive:
+                model = (backend.get_value()
+                         if status == SATStatus.SAT else None)
+                with self._stats_lock:
+                    self.queries += 1
+                    self.routed_queries += routed_attempts
+                    self.routed_wins += 1
+                    self.wins[name] += 1
+                # A cheap backend only answers SAT on a candidate that
+                # already passed concrete evaluation.
+                return PortfolioAnswer(status, model, name,
+                                       routed=True, raced=False,
+                                       verified=True)
+
+        if not remaining:
+            with self._stats_lock:
+                self.queries += 1
+                self.routed_queries += routed_attempts
+            return PortfolioAnswer(SATStatus.UNKNOWN, None, "",
+                                   routed=True, raced=False)
+
+        # Stage 2: a lone expensive member runs on the query thread.
+        if len(remaining) == 1:
+            name = remaining[0]
+            status, model = self._run_one(name, constraints, max_conflicts,
+                                          None)
+            with self._stats_lock:
+                self.queries += 1
+                self.routed_queries += routed_attempts
+                if status in _CONCLUSIVE:
+                    self.wins[name] += 1
+            return PortfolioAnswer(status, model, name,
+                                   routed=False, raced=False)
+
+        # Stage 3: the race.
+        winner, status, model = self._race(remaining, constraints,
+                                           max_conflicts)
+        with self._stats_lock:
+            self.queries += 1
+            self.routed_queries += routed_attempts
+            if winner:
+                self.wins[winner] += 1
+        return PortfolioAnswer(status, model, winner, routed=False, raced=True)
+
+    def shutdown(self) -> None:
+        with self._stats_lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, float]:
+        with self._stats_lock:
+            stats: Dict[str, float] = {
+                "portfolio_queries": self.queries,
+                "routed_queries": self.routed_queries,
+                "routed_wins": self.routed_wins,
+                "race_queries": self.race_queries,
+                "cancelled_racers": self.cancelled_racers,
+            }
+            for name, count in self.wins.items():
+                stats["win_%s" % name] = count
+        return stats
+
+    def route_snapshot(self) -> Dict[str, Dict[str, int]]:
+        if self._route is None:
+            return {}
+        return self._route.snapshot()

@@ -1,0 +1,315 @@
+"""Per-query backend routing: cheap structural features + learned win rates.
+
+Spawning a race for every query is wasteful when one backend is near-certain
+to answer: the vast majority of agent-generated queries are small
+conjunctions of ``field <cmp> constant`` atoms that the word-level interval
+backend decides in microseconds.  The router classifies each query by a
+single cheap pass over its atoms (no recursion into bit-vector arithmetic
+beyond the shapes the interval domain itself understands) into a small
+feature bucket, and keeps per-bucket conclusive/ inconclusive counts for the
+interval backend:
+
+* an **interval-friendly** bucket (every atom is a supported comparison
+  shape) is routed to the interval backend alone — no race is spawned —
+  until its observed conclusive rate drops below :data:`RouteTable.FLOOR`;
+* an unfriendly bucket (or a friendly one that stopped converting) skips
+  the interval backend entirely, which also skips the legacy inline
+  interval pre-analysis the reference pipeline pays on every query.
+
+The table is learned online, per :class:`PortfolioSolver` instance: no
+training phase, no persistence, just counters — cheap enough that the
+routing decision is two dict lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.symbex.expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVCmp,
+    BVConst,
+    BVExtract,
+    BVVar,
+    BVZeroExt,
+)
+
+__all__ = ["QueryClassifier", "QueryFeatures", "RouteTable", "classify_query"]
+
+#: Comparison operators the interval domain applies directly (the expression
+#: layer builds only these plus the signed slt/sle, which the unsigned
+#: domain treats as unsupported).
+_SUPPORTED_OPS = frozenset({"eq", "ne", "ult", "ule"})
+
+
+class QueryFeatures:
+    """Structural summary of one query (atom count, widths, atom kinds)."""
+
+    __slots__ = ("atoms", "friendly", "bucket")
+
+    def __init__(self, atoms: int, friendly: bool,
+                 bucket: Tuple[bool, int, int]) -> None:
+        self.atoms = atoms
+        self.friendly = friendly
+        self.bucket = bucket
+
+
+def _strip_zext(expr):
+    while isinstance(expr, BVZeroExt):
+        expr = expr.operand
+    return expr
+
+
+def _supported_cmp(atom: BVCmp) -> Tuple[bool, int]:
+    """(interval-supported?, operand width) for one comparison atom."""
+
+    if atom.op not in _SUPPORTED_OPS:
+        return False, 0
+    lhs, rhs = _strip_zext(atom.lhs), _strip_zext(atom.rhs)
+    if isinstance(lhs, BVConst):
+        lhs, rhs = rhs, lhs
+    if not isinstance(rhs, BVConst):
+        return False, 0
+    if isinstance(lhs, BVVar):
+        return True, lhs.width
+    if (isinstance(lhs, BVExtract)
+            and isinstance(_strip_zext(lhs.operand), BVVar)):
+        # Forced-bit facts only land for equality; other ops fall back to
+        # the domain's concrete-verification path, which still usually
+        # concludes — treat as friendly.
+        return True, lhs.width
+    return False, 0
+
+
+def _combo_supported(expr: BoolExpr) -> Tuple[bool, int]:
+    """All comparison leaves of an And/Or/Not combination are in-domain.
+
+    Such a shape exceeds what interval propagation handles analytically, but
+    the engine's concrete-verification pass (evaluate the candidate against
+    the full conjunction) settles it whenever the candidate lands inside the
+    disjunction — common for agent-generated range/enum guards.
+    """
+
+    max_width = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BoolConst):
+            continue
+        if isinstance(node, (BoolAnd, BoolOr)):
+            stack.extend(node.operands)
+            continue
+        if isinstance(node, BoolNot):
+            stack.append(node.operand)
+            continue
+        if isinstance(node, BVCmp):
+            ok, width = _supported_cmp(node)
+            if not ok:
+                return False, 0
+            if width > max_width:
+                max_width = width
+            continue
+        return False, 0
+    return True, max_width
+
+
+def _aggregate(constraint: BoolExpr) -> Tuple[int, int, int, int]:
+    """(atoms, unsupported, kinds, max_width) for ONE constraint subtree.
+
+    Mirrors the interval engine's own intake: conjunctions flatten and
+    negated comparisons stay in-domain.  A disjunction or negated
+    conjunction of supported comparisons — which the engine settles only
+    through its concrete-verification pass — is *conditionally* friendly
+    with its own bucket bit, so the route table learns per-shape whether
+    that pass actually converts.
+    """
+
+    atoms = 0
+    unsupported = 0
+    kinds = 0
+    max_width = 0
+    stack = [constraint]
+    while stack:
+        atom = stack.pop()
+        if isinstance(atom, BoolAnd):
+            stack.extend(atom.operands)
+            continue
+        atoms += 1
+        combo = None
+        if isinstance(atom, BoolNot):
+            kinds |= 1
+            inner = atom.operand
+            if isinstance(inner, BVCmp):
+                kinds |= 4
+                ok, width = _supported_cmp(inner)
+                if ok:
+                    if width > max_width:
+                        max_width = width
+                    continue
+                kinds |= 8
+                unsupported += 1
+                continue
+            combo = inner
+        elif isinstance(atom, BoolOr):
+            combo = atom
+        if combo is not None:
+            kinds |= 16
+            ok, width = _combo_supported(combo)
+            if ok:
+                if width > max_width:
+                    max_width = width
+            else:
+                kinds |= 8
+                unsupported += 1
+            continue
+        if isinstance(atom, BoolConst):
+            kinds |= 2
+            continue
+        if isinstance(atom, BVCmp):
+            kinds |= 4
+            ok, width = _supported_cmp(atom)
+            if ok:
+                if width > max_width:
+                    max_width = width
+                continue
+        kinds |= 8
+        unsupported += 1
+    return atoms, unsupported, kinds, max_width
+
+
+def _features(atoms: int, unsupported: int, kinds: int,
+              max_width: int) -> QueryFeatures:
+    friendly = unsupported == 0
+    size_class = 0 if atoms <= 4 else (1 if atoms <= 16 else 2)
+    width_class = 0 if max_width <= 16 else (1 if max_width <= 48 else 2)
+    bucket = (friendly, size_class, kinds | (width_class << 5))
+    return QueryFeatures(atoms=atoms, friendly=friendly, bucket=bucket)
+
+
+def classify_query(constraints: Iterable[BoolExpr]) -> QueryFeatures:
+    """One cheap pass over the (already simplified) atoms."""
+
+    atoms = 0
+    unsupported = 0
+    kinds = 0
+    max_width = 0
+    for constraint in constraints:
+        sub_atoms, sub_unsupported, sub_kinds, sub_width = _aggregate(constraint)
+        atoms += sub_atoms
+        unsupported += sub_unsupported
+        kinds |= sub_kinds
+        if sub_width > max_width:
+            max_width = sub_width
+    return _features(atoms, unsupported, kinds, max_width)
+
+
+class QueryClassifier:
+    """Identity-cached :func:`classify_query` for the portfolio's hot path.
+
+    Terms are interned and consecutive queries share long constraint-list
+    prefixes, so per-constraint feature aggregates hit the cache almost
+    always.  Entries pin the constraint object itself, keeping its ``id``
+    stable for the lifetime of the entry; the cache is cleared wholesale
+    when it outgrows :data:`MAX_ENTRIES`.
+
+    Not thread-safe by design (query thread only), like :class:`RouteTable`.
+    """
+
+    MAX_ENTRIES = 65536
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, Tuple[BoolExpr, Tuple[int, int, int, int]]] = {}
+
+    def classify(self, constraints: Iterable[BoolExpr]) -> QueryFeatures:
+        atoms = 0
+        unsupported = 0
+        kinds = 0
+        max_width = 0
+        cache = self._cache
+        for constraint in constraints:
+            entry = cache.get(id(constraint))
+            if entry is None or entry[0] is not constraint:
+                aggregate = _aggregate(constraint)
+                if len(cache) >= self.MAX_ENTRIES:
+                    cache.clear()
+                cache[id(constraint)] = (constraint, aggregate)
+            else:
+                aggregate = entry[1]
+            sub_atoms, sub_unsupported, sub_kinds, sub_width = aggregate
+            atoms += sub_atoms
+            unsupported += sub_unsupported
+            kinds |= sub_kinds
+            if sub_width > max_width:
+                max_width = sub_width
+        return _features(atoms, unsupported, kinds, max_width)
+
+
+class RouteTable:
+    """Online per-bucket conclusive-rate tracking for the interval backend.
+
+    The cost asymmetry shapes the policy: a wasted interval attempt costs
+    microseconds while a skipped win costs a full bit-blast (hundreds of
+    times more), so only buckets that essentially *never* convert are worth
+    demoting — hence the low :data:`FLOOR` — and a demoted bucket is
+    periodically re-probed so an unlucky early sample (query order is highly
+    correlated within one exploration) cannot freeze it out forever.
+
+    Not thread-safe by design: each :class:`PortfolioSolver` owns one table
+    and consults it from the query thread only (racer threads never touch
+    it).
+    """
+
+    #: Observations before a bucket's rate can demote it from routing.
+    #: Deliberately large: query order within one exploration is highly
+    #: correlated, so a small prefix badly misestimates a bucket's rate,
+    #: and 64 optimistic interval tries cost less than one skipped win.
+    MIN_SAMPLES = 64
+    #: Conclusive-rate floor below which a friendly bucket stops routing.
+    FLOOR = 0.1
+    #: Every Nth query of a demoted bucket is routed anyway, so the rate
+    #: keeps learning and a mis-demoted bucket recovers.
+    PROBE_EVERY = 16
+
+    def __init__(self) -> None:
+        #: bucket -> [conclusive, inconclusive, skipped] counts.
+        self._buckets: Dict[Tuple[bool, int, int], List[int]] = {}
+
+    def route_to_interval(self, features: QueryFeatures) -> bool:
+        """Whether this query should go to the interval backend first.
+
+        Friendliness is a bucket *feature*, not a hard gate: the interval
+        engine's concrete-verification pass settles many nominally
+        unsupported shapes, and one skipped win costs a full bit-blast, so
+        even unfriendly buckets start optimistic and are only demoted by
+        their own observed rate.
+        """
+
+        counts = self._buckets.get(features.bucket)
+        if counts is None:
+            return True  # optimistic: friendly shapes usually convert
+        conclusive, inconclusive, _skipped = counts
+        total = conclusive + inconclusive
+        if total < self.MIN_SAMPLES:
+            return True
+        if conclusive / total >= self.FLOOR:
+            return True
+        counts[2] += 1
+        return counts[2] % self.PROBE_EVERY == 0
+
+    def record(self, features: QueryFeatures, conclusive: bool) -> None:
+        counts = self._buckets.setdefault(features.bucket, [0, 0, 0])
+        counts[0 if conclusive else 1] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """JSON-friendly per-bucket counters (benchmark reporting)."""
+
+        return {
+            "bucket_%s_%d_%d" % bucket: {"conclusive": counts[0],
+                                         "inconclusive": counts[1],
+                                         "skipped": counts[2]}
+            for bucket, counts in sorted(self._buckets.items())
+        }

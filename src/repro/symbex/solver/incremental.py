@@ -33,10 +33,8 @@ from repro.errors import SolverError
 from repro.symbex.expr import BoolAnd, BoolConst, BoolExpr
 from repro.symbex.interval import analyze_conjunction
 from repro.symbex.simplify import simplify_bool
-from repro.symbex.solver.bitblast import BitBlaster
-from repro.symbex.solver.cnf import CNFBuilder
-from repro.symbex.solver.model import complete_model, extract_model, require_verified
-from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.symbex.solver.model import complete_model, require_verified
+from repro.symbex.solver.sat import SATStatus
 from repro.symbex.solver.solver import SatResult, SolverConfig
 
 __all__ = ["GroupEncoding", "IncrementalStats", "PairOutcome"]
@@ -116,9 +114,10 @@ class GroupEncoding:
         self.config = config if config is not None else SolverConfig()
         self.stats = IncrementalStats(backend_rebuilds=1)
         self._lock = threading.RLock()
-        self._sat = self.config.make_sat_solver()
-        self._cnf = CNFBuilder(self._sat)
-        self._blaster = BitBlaster(self._cnf)
+        # Activation literals need the CNF-level surface (new_var/add_clause),
+        # so the engine asks for an *incremental* backend; a non-incremental
+        # configured backend (interval) falls back to the reference CDCL one.
+        self._backend = self.config.make_incremental_backend()
         # id-keyed: group conditions are hash-consed, so identity is
         # structural identity (each _EncodedGroup pins its condition alive).
         self._groups: Dict[int, _EncodedGroup] = {}
@@ -158,10 +157,10 @@ class GroupEncoding:
             simplified = simplify_bool(condition)
             if isinstance(simplified, BoolConst):
                 if simplified.value:
-                    group = _EncodedGroup(activation=self._cnf.true_lit,
+                    group = _EncodedGroup(activation=self._backend.true_lit,
                                           condition=condition)
                 else:
-                    group = _EncodedGroup(activation=self._cnf.false_lit,
+                    group = _EncodedGroup(activation=self._backend.false_lit,
                                           trivially_false=True,
                                           condition=condition)
             else:
@@ -169,9 +168,10 @@ class GroupEncoding:
                     atoms = list(simplified.operands)
                 else:
                     atoms = [simplified]
-                activation = self._cnf.new_var()
+                activation = self._backend.new_var()
                 for atom in atoms:
-                    self._cnf.add_clause([-activation, self._blaster.bool_lit(atom)])
+                    self._backend.add_clause(
+                        [-activation, self._backend.declare(atom)])
                 group = _EncodedGroup(activation=activation, atoms=atoms,
                                       condition=condition)
             self._groups[key] = group
@@ -228,7 +228,7 @@ class GroupEncoding:
                 return PairOutcome(SatResult(SATStatus.SAT, model=model), via="interval")
 
         self.stats.assumption_solves += 1
-        status = self._sat.solve(
+        status = self._backend.check_sat(
             assumptions=[group_a.activation, group_b.activation],
             max_conflicts=self.config.max_conflicts)
         if status == SATStatus.UNKNOWN:
@@ -240,7 +240,7 @@ class GroupEncoding:
             self._remember(cache_key, SatResult(SATStatus.UNSAT))
             return PairOutcome(SatResult(SATStatus.UNSAT), via="assumption")
 
-        model = extract_model(self._blaster, self._sat)
+        model = self._backend.get_value()
         if self.config.verify_models:
             model = require_verified(model, atoms)
         else:
@@ -267,7 +267,7 @@ class GroupEncoding:
 
         with self._lock:
             snapshot = self.stats.as_dict()
-            snapshot["sat_variables"] = self._sat.num_vars
-            snapshot["sat_clauses"] = self._sat.num_clauses
-            snapshot["backend_solves"] = self._sat.solves
+            snapshot["sat_variables"] = self._backend.num_vars
+            snapshot["sat_clauses"] = self._backend.num_clauses
+            snapshot["backend_solves"] = self._backend.solves
             return snapshot

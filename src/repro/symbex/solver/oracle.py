@@ -79,10 +79,7 @@ from repro.symbex.expr import (
     Expr,
 )
 from repro.symbex.simplify import simplify_bool
-from repro.symbex.solver.bitblast import BitBlaster
-from repro.symbex.solver.cnf import CNFBuilder
-from repro.symbex.solver.model import extract_model
-from repro.symbex.solver.sat import SATSolver, SATStatus
+from repro.symbex.solver.sat import SATStatus
 from repro.symbex.solver.solver import SolverConfig
 
 __all__ = ["PrefixOracle", "PrefixOracleStats", "PrefixNode"]
@@ -191,9 +188,12 @@ class PrefixOracle:
     def __init__(self, config: Optional[SolverConfig] = None) -> None:
         self.config = config if config is not None else SolverConfig()
         self.stats = PrefixOracleStats()
-        self._sat = self.config.make_sat_solver()
-        self._cnf = CNFBuilder(self._sat)
-        self._blaster = BitBlaster(self._cnf)
+        # Assumption-based solving needs declare() + a literal namespace, so
+        # the oracle asks the config for an *incremental* backend (the
+        # reference CDCL engine unless overridden with another incremental
+        # one); the word-level interval engine contributes through the
+        # oracle's own pre-filter instead.
+        self._backend = self.config.make_incremental_backend()
         # id-keyed (the expression layer hash-conses terms): entry values
         # carry the condition so its id stays pinned while the entry lives.
         self._literals: Dict[int, Tuple[BoolExpr, int]] = {}
@@ -221,9 +221,9 @@ class PrefixOracle:
         started = time.perf_counter()
         simplified = simplify_bool(condition)
         if isinstance(simplified, BoolConst):
-            lit = self._cnf.const(simplified.value)
+            lit = self._backend.const_lit(simplified.value)
         else:
-            lit = self._blaster.bool_lit(simplified)
+            lit = self._backend.declare(simplified)
             self._lit_conditions.setdefault(abs(lit), (simplified, lit))
         self._literals[id(condition)] = (condition, lit)
         self.stats.literals_encoded += 1
@@ -247,14 +247,14 @@ class PrefixOracle:
         one new node is created from the parent by a single-literal delta.
         """
 
-        if lit == self._cnf.true_lit or lit in node.lits:
+        if lit == self._backend.true_lit or lit in node.lits:
             self.stats.delta_hits += 1
             return node
         child = node.children.get(lit)
         if child is not None:
             self.stats.delta_hits += 1
             return child
-        trivial = (node.trivial_unsat or lit == self._cnf.false_lit
+        trivial = (node.trivial_unsat or lit == self._backend.false_lit
                    or -lit in node.lits)
         child = PrefixNode(node.lits | {lit}, node.ordered + (lit,), trivial)
         node.children[lit] = child
@@ -334,8 +334,8 @@ class PrefixOracle:
 
         started = time.perf_counter()
         self.stats.assumption_solves += 1
-        status = self._sat.solve(assumptions=list(node.ordered),
-                                 max_conflicts=self.config.max_conflicts)
+        status = self._backend.check_sat(assumptions=list(node.ordered),
+                                         max_conflicts=self.config.max_conflicts)
         self.stats.solve_time += time.perf_counter() - started
         if status == SATStatus.UNKNOWN:
             # Never cached: a retry with a raised budget must reach the backend.
@@ -389,7 +389,7 @@ class PrefixOracle:
     def _pool_model(self) -> None:
         """Extract the backend's current model into the MRU pool."""
 
-        self._models.insert(0, _PooledModel(extract_model(self._blaster, self._sat)))
+        self._models.insert(0, _PooledModel(self._backend.get_value()))
         del self._models[self.MODEL_POOL_LIMIT:]
         self.stats.models_pooled += 1
 
@@ -479,9 +479,9 @@ class PrefixOracle:
         """Counter snapshot plus the size of the shared backend."""
 
         snapshot = self.stats.as_dict()
-        snapshot["sat_variables"] = self._sat.num_vars
-        snapshot["sat_clauses"] = self._sat.num_clauses
-        snapshot["backend_solves"] = self._sat.solves
+        snapshot["sat_variables"] = self._backend.num_vars
+        snapshot["sat_clauses"] = self._backend.num_clauses
+        snapshot["backend_solves"] = self._backend.solves
         snapshot["model_pool_size"] = len(self._models)
         return snapshot
 

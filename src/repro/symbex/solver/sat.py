@@ -119,6 +119,7 @@ class SATSolver:
         self.restarts = 0
         self.db_reductions = 0
         self.learned_deleted = 0
+        self.cancellations = 0
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -487,13 +488,23 @@ class SATSolver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None,
+              cancel=None) -> str:
         """Solve the formula; returns one of the :class:`SATStatus` constants.
 
         *assumptions* are literals forced at the start of the search (they act
         like temporary unit clauses).  When *max_conflicts* is given and
         exhausted within this call, ``UNKNOWN`` is returned.  The instance can
         be re-queried afterwards — each call gets its own conflict budget.
+
+        *cancel* is an optional cooperative cancellation token (any object
+        with an ``is_cancelled`` attribute, e.g.
+        :class:`repro.symbex.solver.backends.CancellationToken`).  The search
+        loop polls it at every conflict and every decision; once it reads
+        true, the call unwinds exactly like a budget exhaustion — trail
+        backtracked to the root, assumption-reuse state reset — and returns
+        ``UNKNOWN``, so the instance stays fully reusable for later calls.
+        Portfolio racing uses this to stop losing backends promptly.
         """
 
         self.solves += 1
@@ -559,6 +570,11 @@ class SATSolver:
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_since_restart += 1
+                if cancel is not None and cancel.is_cancelled:
+                    self.cancellations += 1
+                    self._reset_assumption_trail()
+                    self._backtrack(0)
+                    return SATStatus.UNKNOWN
                 if total_budget is not None and self.conflicts - conflicts_at_start > total_budget:
                     self._reset_assumption_trail()
                     self._backtrack(0)
@@ -593,6 +609,11 @@ class SATSolver:
                     self.restarts += 1
                     self._backtrack(assumption_level)
                     continue
+                if cancel is not None and cancel.is_cancelled:
+                    self.cancellations += 1
+                    self._reset_assumption_trail()
+                    self._backtrack(0)
+                    return SATStatus.UNKNOWN
                 var = self._pick_branch_variable()
                 if var is None:
                     return SATStatus.SAT
@@ -634,4 +655,5 @@ class SATSolver:
             "restarts": self.restarts,
             "db_reductions": self.db_reductions,
             "learned_deleted": self.learned_deleted,
+            "cancellations": self.cancellations,
         }

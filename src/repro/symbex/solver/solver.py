@@ -32,9 +32,8 @@ from repro.symbex.expr import (
 )
 from repro.symbex.interval import analyze_conjunction
 from repro.symbex.simplify import simplify_bool
-from repro.symbex.solver.bitblast import BitBlaster
-from repro.symbex.solver.cnf import CNFBuilder
-from repro.symbex.solver.model import complete_model, extract_model, require_verified
+from repro.symbex.solver.backends import PortfolioSolver, SolverBackend, make_backend
+from repro.symbex.solver.model import complete_model, require_verified
 from repro.symbex.solver.sat import SATSolver, SATStatus
 from repro.testing.faults import fault_point
 
@@ -82,16 +81,69 @@ class SolverConfig:
     learned_db_growth: float = 1.2
     #: SAT-core: conflicts before the first restart (geometric growth after).
     restart_first: int = 100
+    #: Registered backend answering one-shot queries ("cdcl" is the reference;
+    #: see :mod:`repro.symbex.solver.backends`).
+    backend: str = "cdcl"
+    #: Backend names raced per query; empty disables the portfolio (the
+    #: single ``backend`` runs alone).
+    portfolio: Tuple[str, ...] = ()
+    #: Portfolio only: learn per-feature-bucket routing so interval-friendly
+    #: queries go straight to the cheap word-level backend (no race).
+    route_queries: bool = True
+
+    def sat_knobs(self) -> Dict[str, object]:
+        """The SAT-core knobs as ``SATSolver`` constructor kwargs."""
+
+        return {
+            "phase_saving": self.phase_saving,
+            "restart_first": self.restart_first,
+            "learned_db_base": self.learned_db_base,
+            "learned_db_growth": self.learned_db_growth,
+        }
 
     def make_sat_solver(self) -> SATSolver:
         """Build a :class:`SATSolver` configured with these knobs."""
 
-        return SATSolver(
-            phase_saving=self.phase_saving,
-            restart_first=self.restart_first,
-            learned_db_base=self.learned_db_base,
-            learned_db_growth=self.learned_db_growth,
-        )
+        return SATSolver(**self.sat_knobs())
+
+    def make_backend(self, name: Optional[str] = None) -> SolverBackend:
+        """A fresh instance of *name* (default: the configured backend)."""
+
+        return make_backend(name or self.backend, self.sat_knobs())
+
+    def make_incremental_backend(self) -> SolverBackend:
+        """An incremental backend for assumption-based consumers.
+
+        The PrefixOracle / GroupEncoding machinery needs ``declare`` and the
+        CNF-level surface; when the configured backend cannot provide them
+        (the interval engine), fall back to the reference CDCL backend — the
+        word-level engine still participates through those consumers' own
+        interval pre-filters.
+        """
+
+        backend = self.make_backend()
+        if not backend.incremental:
+            backend = self.make_backend("cdcl")
+        return backend
+
+    def make_portfolio(self) -> Optional[PortfolioSolver]:
+        """The configured :class:`PortfolioSolver`, or None when disabled."""
+
+        if not self.portfolio:
+            return None
+        return PortfolioSolver(self.portfolio, factory=self.make_backend,
+                               route_queries=self.route_queries)
+
+    def backend_key(self) -> Tuple[object, ...]:
+        """Identity of the decision procedure for query-cache keying.
+
+        Two configs sharing a cache must never exchange answers produced by
+        different engines or budgets: SAT models differ across backends, and
+        a looser budget can turn UNKNOWN into a verdict.
+        """
+
+        return (self.backend, tuple(self.portfolio), self.route_queries,
+                self.max_conflicts)
 
 
 @dataclass
@@ -158,9 +210,28 @@ class Solver:
     def __init__(self, config: SolverConfig = None) -> None:
         self.config = config if config is not None else SolverConfig()
         self.stats = SolverStats()
-        # Cache values carry the constraint list to pin the interned terms
-        # the id-tuple key refers to.
-        self._cache: Dict[Tuple[int, ...], Tuple[List[BoolExpr], SatResult]] = {}
+        self._portfolio = self.config.make_portfolio()
+        # Cache keys carry the decision-procedure identity alongside the
+        # constraint ids: answers from different backends/budgets must never
+        # be exchanged.  Values carry the constraint list to pin the interned
+        # terms the id components refer to.
+        self._backend_key = self.config.backend_key()
+        self._cache: Dict[Tuple[object, ...],
+                          Tuple[List[BoolExpr], SatResult]] = {}
+
+    @property
+    def portfolio(self):
+        """The live :class:`PortfolioSolver`, or None when disabled."""
+
+        return self._portfolio
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Aggregate counters, including portfolio attribution when racing."""
+
+        snapshot = self.stats.as_dict()
+        if self._portfolio is not None:
+            snapshot.update(self._portfolio.stats_dict())
+        return snapshot
 
     # ------------------------------------------------------------------
     # Public API
@@ -231,9 +302,10 @@ class Solver:
         if not simplified:
             return SatResult(SATStatus.SAT, model={})
 
-        cache_key: Optional[Tuple[int, ...]] = None
+        cache_key: Optional[Tuple[object, ...]] = None
         if self.config.use_cache:
-            cache_key = tuple(sorted(id(c) for c in simplified))
+            cache_key = (self._backend_key,
+                         tuple(sorted(id(c) for c in simplified)))
             cached = self._cache.get(cache_key)
             if cached is not None:
                 self.stats.cache_hits += 1
@@ -253,6 +325,12 @@ class Solver:
         return result
 
     def _decide(self, constraints: List[BoolExpr]) -> SatResult:
+        if self._portfolio is not None:
+            # The portfolio's router owns the interval-vs-CDCL decision; the
+            # inline pre-check would double-pay the interval analysis and rob
+            # the routed backend of its wins.
+            return self._decide_with_portfolio(constraints)
+
         if self.config.use_interval_precheck:
             outcome = analyze_conjunction(constraints)
             if outcome.is_unsat:
@@ -266,24 +344,43 @@ class Solver:
         return self._decide_with_sat(constraints)
 
     def _decide_with_sat(self, constraints: List[BoolExpr]) -> SatResult:
+        """One-shot query through a fresh instance of the configured backend."""
+
         started = time.perf_counter()
         self.stats.sat_backend_runs += 1
-        sat = self.config.make_sat_solver()
-        cnf = CNFBuilder(sat)
-        blaster = BitBlaster(cnf)
+        backend = self.config.make_backend()
         for constraint in constraints:
-            blaster.assert_bool(constraint)
-        status = sat.solve(max_conflicts=self.config.max_conflicts)
+            backend.assert_formula(constraint)
+        status = backend.check_sat(max_conflicts=self.config.max_conflicts)
         self.stats.sat_backend_time += time.perf_counter() - started
 
-        if status == SATStatus.UNSAT:
-            return SatResult(SATStatus.UNSAT)
-        if status == SATStatus.UNKNOWN:
-            return SatResult(SATStatus.UNKNOWN)
+        if status != SATStatus.SAT:
+            return SatResult(status)
+        return SatResult(SATStatus.SAT,
+                         model=self._finish_model(backend.get_value(),
+                                                  constraints))
 
-        model = extract_model(blaster, sat)
+    def _decide_with_portfolio(self, constraints: List[BoolExpr]) -> SatResult:
+        started = time.perf_counter()
+        self.stats.sat_backend_runs += 1
+        answer = self._portfolio.check(constraints,
+                                       max_conflicts=self.config.max_conflicts)
+        self.stats.sat_backend_time += time.perf_counter() - started
+
+        if answer.status != SATStatus.SAT:
+            return SatResult(answer.status)
+        if answer.verified:
+            # The winning backend already checked the model by concrete
+            # evaluation (interval wins) — mirror the inline pre-check path
+            # and only fill in the unconstrained variables.
+            self.stats.interval_decides += 1
+            return SatResult(SATStatus.SAT,
+                             model=complete_model(answer.model, constraints))
+        return SatResult(SATStatus.SAT,
+                         model=self._finish_model(answer.model, constraints))
+
+    def _finish_model(self, model: Dict[str, int],
+                      constraints: List[BoolExpr]) -> Dict[str, int]:
         if self.config.verify_models:
-            model = require_verified(model, constraints)
-        else:
-            model = complete_model(model, constraints)
-        return SatResult(SATStatus.SAT, model=model)
+            return require_verified(model, constraints)
+        return complete_model(model, constraints)

@@ -1,0 +1,525 @@
+"""Solver backends: protocol, cancellation cleanliness, portfolio, and the
+seed-catalog differential sweep.
+
+The sweep is the load-bearing test of the backend refactor: every registered
+backend (and both portfolio configurations) must return the same SAT/UNSAT
+verdicts as the reference CDCL backend on real path conditions from every
+(test, agent) cell of the seed catalogue, and switching the campaign to
+another backend must leave the inconsistency sets bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.explorer import explore_agent
+from repro.core.tests_catalog import TABLE1_TESTS
+from repro.errors import CampaignError, SolverError
+from repro.symbex.expr import BVCmp, BVConst, BVVar, BoolNot
+from repro.symbex.solver import (
+    ALT_CDCL_KNOBS,
+    BackendCapabilityError,
+    CancellationToken,
+    CDCLBackend,
+    DEFAULT_PORTFOLIO,
+    IntervalBackend,
+    PortfolioSolver,
+    SATSolver,
+    SATStatus,
+    Solver,
+    SolverConfig,
+    backend_info,
+    backend_names,
+    classify_query,
+    make_backend,
+)
+from repro.symbex.solver.backends.routing import RouteTable
+
+AGENTS = ("reference", "ovs", "modified")
+
+#: Per-cell cap for the differential sweep; paths are sampled evenly so the
+#: sweep still touches early, middle and late paths of every cell.
+SWEEP_PATHS_PER_CELL = 12
+
+
+def _var(name="x", width=16):
+    return BVVar(name, width)
+
+
+def _sat_query(x=None):
+    x = x if x is not None else _var()
+    return [BVCmp("ult", x, BVConst(10, 16)),
+            BVCmp("ult", BVConst(3, 16), x)]
+
+
+def _unsat_query(x=None):
+    x = x if x is not None else _var()
+    return [BVCmp("ult", x, BVConst(3, 16)),
+            BVCmp("ult", BVConst(10, 16), x)]
+
+
+# ---------------------------------------------------------------------------
+# Protocol and registry
+# ---------------------------------------------------------------------------
+
+def test_registry_names_capabilities_and_unknown_backend():
+    names = backend_names()
+    assert set(names) == {"cdcl", "cdcl-alt", "interval"}
+    assert backend_info("cdcl") == {"incremental": True, "complete": True,
+                                    "cheap": False}
+    assert backend_info("interval") == {"incremental": False,
+                                        "complete": False, "cheap": True}
+    for name in names:
+        backend = make_backend(name)
+        assert backend.name == name
+        assert backend.incremental == backend_info(name)["incremental"]
+        assert backend.complete == backend_info(name)["complete"]
+        assert backend.cheap == backend_info(name)["cheap"]
+    with pytest.raises(SolverError):
+        make_backend("z3")
+    with pytest.raises(SolverError):
+        backend_info("z3")
+
+
+def test_every_backend_agrees_on_simple_queries():
+    for name in backend_names():
+        for constraints, expected in ((_sat_query(), SATStatus.SAT),
+                                      (_unsat_query(), SATStatus.UNSAT)):
+            backend = make_backend(name)
+            for constraint in constraints:
+                backend.assert_formula(constraint)
+            assert backend.check_sat() == expected, name
+            if expected == SATStatus.SAT:
+                model = backend.get_value()
+                assert 3 < model["x"] < 10
+
+
+def test_alt_cdcl_knobs_differ_from_reference():
+    reference = SolverConfig().sat_knobs()
+    assert any(ALT_CDCL_KNOBS[key] != reference[key] for key in ALT_CDCL_KNOBS)
+    alt = make_backend("cdcl-alt")
+    assert isinstance(alt, CDCLBackend)
+    assert alt.sat_solver.phase_saving is ALT_CDCL_KNOBS["phase_saving"]
+
+
+def test_interval_backend_capability_boundaries():
+    backend = IntervalBackend()
+    backend.assert_formula(_sat_query()[0])
+    with pytest.raises(BackendCapabilityError):
+        backend.check_sat(assumptions=[3])
+    with pytest.raises(BackendCapabilityError):
+        backend.new_var()
+    with pytest.raises(BackendCapabilityError):
+        backend.add_clause([1])
+    with pytest.raises(BackendCapabilityError):
+        backend.declare(_sat_query()[0])
+    assert backend.check_sat() == SATStatus.SAT
+    # UNKNOWN when the candidate fails verification (ne over two free vars:
+    # the zero/zero candidate evaluates false), and no model afterwards.
+    x = _var()
+    unknown = IntervalBackend()
+    unknown.assert_formula(BVCmp("ne", x, _var("y")))
+    assert unknown.check_sat() == SATStatus.UNKNOWN
+    with pytest.raises(SolverError):
+        unknown.get_value()
+
+
+def test_interval_backend_semi_decision_via_solver():
+    solver = Solver(SolverConfig(backend="interval",
+                                 use_interval_precheck=False))
+    assert solver.check(_sat_query()).is_sat
+    assert solver.check(_unsat_query()).is_unsat
+    # Outside the fragment the answer is UNKNOWN, never a wrong verdict.
+    x = _var()
+    result = solver.check([BVCmp("ne", x, _var("y"))])
+    assert result.is_unknown
+
+
+# ---------------------------------------------------------------------------
+# Satellite: query cache keyed on backend identity
+# ---------------------------------------------------------------------------
+
+def test_backend_keys_distinguish_configs():
+    keys = {
+        SolverConfig().backend_key(),
+        SolverConfig(backend="cdcl-alt").backend_key(),
+        SolverConfig(backend="interval").backend_key(),
+        SolverConfig(portfolio=DEFAULT_PORTFOLIO).backend_key(),
+        SolverConfig(portfolio=("cdcl", "cdcl-alt")).backend_key(),
+        SolverConfig(portfolio=DEFAULT_PORTFOLIO,
+                     route_queries=False).backend_key(),
+        SolverConfig(max_conflicts=7).backend_key(),
+    }
+    assert len(keys) == 7
+
+
+def test_query_cache_keys_include_backend_identity():
+    solver = Solver(SolverConfig(backend="cdcl-alt"))
+    query = _sat_query()
+    first = solver.check(query)
+    second = solver.check(query)
+    assert first.status == second.status == SATStatus.SAT
+    assert solver.stats.cache_hits == 1
+    assert all(key[0] == solver.config.backend_key()
+               for key in solver._cache)
+
+
+def test_interval_unknowns_are_never_cached():
+    solver = Solver(SolverConfig(backend="interval",
+                                 use_interval_precheck=False))
+    query = [BVCmp("ne", _var(), _var("y"))]
+    assert solver.check(query).is_unknown
+    assert solver.check(query).is_unknown
+    assert solver.stats.cache_hits == 0
+    assert solver.stats.unknown_cache_skips == 2
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cooperative cancellation leaves incremental instances reusable
+# ---------------------------------------------------------------------------
+
+def _pigeonhole(solver, pigeons, holes):
+    grid = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        solver.add_clause(row)
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                solver.add_clause([-grid[first][hole], -grid[second][hole]])
+    return grid
+
+
+class _CountdownToken:
+    """Deterministic mid-search cancellation: trip after N polls."""
+
+    def __init__(self, polls: int) -> None:
+        self.remaining = polls
+
+    @property
+    def is_cancelled(self) -> bool:
+        self.remaining -= 1
+        return self.remaining <= 0
+
+
+def test_sat_cancellation_returns_unknown_and_leaves_trail_clean():
+    solver = SATSolver()
+    _pigeonhole(solver, 6, 5)
+    token = CancellationToken()
+    token.cancel()
+    assert solver.solve(cancel=token) == SATStatus.UNKNOWN
+    assert solver.cancellations == 1
+    # Mirrors the failed-assumption cleanliness contract: a cancelled solve
+    # must fully unwind so the instance stays incrementally reusable.
+    assert solver._decision_level() == 0
+    assert all(solver._level[abs(lit)] == 0 for lit in solver._trail)
+    assert solver.solve() == SATStatus.UNSAT
+    assert solver.stats_dict()["cancellations"] == 1
+
+
+def test_sat_mid_search_cancellation_is_clean():
+    solver = SATSolver()
+    grid = _pigeonhole(solver, 7, 6)
+    assert solver.solve(cancel=_CountdownToken(40)) == SATStatus.UNKNOWN
+    assert solver.cancellations == 1
+    assert solver._decision_level() == 0
+    assert all(solver._level[abs(lit)] == 0 for lit in solver._trail)
+    # The instance answers correctly afterwards, including under assumptions.
+    assert solver.solve(assumptions=[grid[0][0]]) == SATStatus.UNSAT
+    assert solver._decision_level() == 0
+    assert solver.solve() == SATStatus.UNSAT
+
+
+def test_cancelled_cdcl_backend_stays_reusable():
+    backend = make_backend("cdcl")
+    for constraint in _sat_query():
+        backend.assert_formula(constraint)
+    token = CancellationToken()
+    token.cancel()
+    assert backend.check_sat(cancel=token) == SATStatus.UNKNOWN
+    sat = backend.sat_solver
+    assert sat.cancellations == 1
+    assert sat._decision_level() == 0
+    assert all(sat._level[abs(lit)] == 0 for lit in sat._trail)
+    # Same instance, no token: the query completes and yields a real model.
+    assert backend.check_sat() == SATStatus.SAT
+    assert 3 < backend.get_value()["x"] < 10
+    # Assumption-based reuse still works after the cancelled attempt.
+    lit = backend.declare(BVCmp("eq", _var(), BVConst(5, 16)))
+    assert backend.check_sat(assumptions=[lit]) == SATStatus.SAT
+    assert backend.get_value()["x"] == 5
+    assert backend.check_sat(assumptions=[-lit]) == SATStatus.SAT
+    assert backend.get_value()["x"] != 5
+
+
+def test_backend_cancel_method_cancels_inflight_query():
+    # A pigeonhole instance far beyond what CDCL resolves quickly, built
+    # through the backend's CNF surface; cancel() from the query's observer
+    # thread must unwind it promptly.
+    backend = make_backend("cdcl")
+    _pigeonhole(backend, 10, 9)
+    results = []
+    thread = threading.Thread(
+        target=lambda: results.append(
+            backend.check_sat(cancel=CancellationToken())))
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while backend._cancel is None and time.monotonic() < deadline:
+        time.sleep(0.0005)
+    backend.cancel()
+    thread.join(30.0)
+    assert results == [SATStatus.UNKNOWN]
+    sat = backend.sat_solver
+    assert sat.cancellations == 1
+    assert sat._decision_level() == 0
+    # cancel() with no query in flight is a harmless no-op.
+    backend.cancel()
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+def test_classify_query_flags_interval_friendly_shapes():
+    x = _var()
+    friendly = classify_query(_sat_query() + [BoolNot(
+        BVCmp("eq", x, BVConst(7, 16)))])
+    assert friendly.friendly and friendly.atoms == 3
+    unfriendly = classify_query([BVCmp("eq", x, _var("y"))])
+    assert not unfriendly.friendly
+    signed = classify_query([BVCmp("slt", x, BVConst(3, 16))])
+    assert not signed.friendly
+
+
+def test_route_table_demotes_inconclusive_buckets_but_keeps_probing():
+    table = RouteTable()
+    features = classify_query(_sat_query())
+    assert table.route_to_interval(features)
+    for _ in range(RouteTable.MIN_SAMPLES):
+        table.record(features, conclusive=False)
+    # Demoted: the next PROBE_EVERY - 1 queries skip, then one probes.
+    decisions = [table.route_to_interval(features)
+                 for _ in range(RouteTable.PROBE_EVERY)]
+    assert decisions.count(True) == 1 and decisions[-1]
+    # Conclusive probes lift the rate back over the floor — recovery.
+    needed = math.ceil(RouteTable.MIN_SAMPLES * RouteTable.FLOOR
+                       / (1.0 - RouteTable.FLOOR))
+    for _ in range(needed):
+        table.record(features, conclusive=True)
+    assert table.route_to_interval(features)
+    # Friendliness shapes the bucket, not a hard gate: unfriendly buckets
+    # also start optimistic and demote on their own observed rate.
+    unfriendly = classify_query([BVCmp("eq", _var("a", 16), _var("b", 16))])
+    assert not unfriendly.friendly
+    assert table.route_to_interval(unfriendly)
+    for _ in range(RouteTable.MIN_SAMPLES):
+        table.record(unfriendly, conclusive=False)
+    assert not table.route_to_interval(unfriendly)
+    assert any(counts["inconclusive"] == RouteTable.MIN_SAMPLES
+               for counts in table.snapshot().values())
+
+
+# ---------------------------------------------------------------------------
+# Portfolio
+# ---------------------------------------------------------------------------
+
+def _portfolio(members, route_queries=True):
+    config = SolverConfig()
+    return PortfolioSolver(members, factory=config.make_backend,
+                           route_queries=route_queries)
+
+
+def test_portfolio_routes_friendly_queries_to_interval():
+    portfolio = _portfolio(DEFAULT_PORTFOLIO)
+    answer = portfolio.check(_sat_query())
+    assert answer.status == SATStatus.SAT
+    assert answer.backend == "interval"
+    assert answer.routed and not answer.raced
+    assert portfolio.wins["interval"] == 1
+    stats = portfolio.stats_dict()
+    assert stats["routed_queries"] == 1 and stats["routed_wins"] == 1
+
+
+def test_portfolio_falls_through_to_cdcl_on_interval_miss():
+    portfolio = _portfolio(DEFAULT_PORTFOLIO)
+    x = _var()
+    # ne over two free vars: the interval candidate (both zero) fails
+    # concrete verification, so the routed attempt is inconclusive.
+    answer = portfolio.check([BVCmp("ne", x, _var("y")),
+                              BVCmp("ult", x, BVConst(9, 16))])
+    assert answer.status == SATStatus.SAT
+    assert answer.backend == "cdcl"
+    assert not answer.raced  # single expensive member: direct call, no race
+    assert portfolio.wins["cdcl"] == 1
+
+
+def test_portfolio_race_first_conclusive_wins_and_losers_cancel():
+    portfolio = _portfolio(("cdcl", "cdcl-alt"), route_queries=False)
+    try:
+        sat = portfolio.check(_sat_query())
+        unsat = portfolio.check(_unsat_query())
+        assert sat.status == SATStatus.SAT and sat.raced
+        assert unsat.status == SATStatus.UNSAT and unsat.raced
+        assert sat.backend in ("cdcl", "cdcl-alt")
+        stats = portfolio.stats_dict()
+        assert stats["race_queries"] == 2
+        assert stats["cancelled_racers"] == 2
+        assert stats["win_cdcl"] + stats["win_cdcl-alt"] == 2
+    finally:
+        portfolio.shutdown()
+
+
+def test_portfolio_worker_errors_reraise_on_query_thread():
+    config = SolverConfig()
+    calls = []
+
+    def flaky_factory(name):
+        # Survive the constructor's capability probe (one call per member),
+        # then blow up inside the racer threads.
+        calls.append(name)
+        if len(calls) > 2:
+            raise RuntimeError("backend exploded")
+        return config.make_backend(name)
+
+    portfolio = PortfolioSolver(("cdcl", "cdcl-alt"), factory=flaky_factory,
+                                route_queries=False)
+    try:
+        with pytest.raises(RuntimeError, match="backend exploded"):
+            portfolio.check(_sat_query())
+    finally:
+        portfolio.shutdown()
+
+
+def test_portfolio_solver_answers_match_reference_and_models_are_deterministic():
+    reference = Solver(SolverConfig(use_cache=False))
+    racing = Solver(SolverConfig(portfolio=DEFAULT_PORTFOLIO, use_cache=False))
+    x = _var()
+    queries = [
+        _sat_query(),
+        _unsat_query(),
+        [BVCmp("eq", x, BVConst(77, 16))],
+        [BoolNot(BVCmp("eq", x, BVConst(0, 16))), BVCmp("ule", x, BVConst(4, 16))],
+        [BVCmp("eq", x, _var("y")), BVCmp("ult", x, BVConst(9, 16))],
+    ]
+    for query in queries:
+        expected = reference.check(query)
+        got = racing.check(query)
+        assert got.status == expected.status
+        if expected.is_sat:
+            # The default portfolio is model-deterministic by construction:
+            # concretization must pin the same values the reference pins.
+            assert got.model == expected.model
+
+
+def test_campaign_backend_and_portfolio_kwargs():
+    campaign = Campaign(backend="cdcl-alt", portfolio=True)
+    assert campaign.solver_config.backend == "cdcl-alt"
+    assert campaign.solver_config.portfolio == DEFAULT_PORTFOLIO
+    explicit = Campaign(portfolio=("cdcl", "cdcl-alt"))
+    assert explicit.solver_config.portfolio == ("cdcl", "cdcl-alt")
+    assert Campaign().solver_config is None  # no override, no config forced
+    with pytest.raises(CampaignError):
+        Campaign(backend="z3")
+    with pytest.raises(CampaignError):
+        Campaign(portfolio=("cdcl", "z3"))
+
+
+# ---------------------------------------------------------------------------
+# Satellite: seed-catalog differential sweep
+# ---------------------------------------------------------------------------
+
+def _sample(outcomes, limit):
+    if len(outcomes) <= limit:
+        return list(outcomes)
+    step = len(outcomes) / float(limit)
+    return [outcomes[int(index * step)] for index in range(limit)]
+
+
+@pytest.fixture(scope="module")
+def catalog_queries():
+    """Real path conditions from every (test, agent) cell of the catalogue."""
+
+    queries = []
+    for test in TABLE1_TESTS:
+        for agent in AGENTS:
+            report = explore_agent(agent, test)
+            assert report.path_count > 0, (test, agent)
+            for outcome in _sample(report.outcomes, SWEEP_PATHS_PER_CELL):
+                if outcome.constraints:
+                    queries.append((test, agent, outcome.constraints))
+    assert len(queries) > 100
+    return queries
+
+
+def _sweep(config, queries):
+    solver = Solver(config)
+    return [solver.check(constraints).status
+            for _test, _agent, constraints in queries]
+
+
+def test_differential_sweep_all_backends_agree(catalog_queries):
+    reference = _sweep(SolverConfig(use_cache=False), catalog_queries)
+    assert SATStatus.UNKNOWN not in reference
+
+    # Complete backends and both portfolio shapes: verdicts must be equal.
+    contenders = {
+        "cdcl-alt": SolverConfig(backend="cdcl-alt", use_cache=False),
+        "portfolio-default": SolverConfig(portfolio=DEFAULT_PORTFOLIO,
+                                          use_cache=False),
+        "portfolio-raced": SolverConfig(portfolio=("interval", "cdcl",
+                                                   "cdcl-alt"),
+                                        use_cache=False),
+    }
+    for label, config in contenders.items():
+        verdicts = _sweep(config, catalog_queries)
+        mismatches = [
+            (query[0], query[1], expected, got)
+            for query, expected, got in zip(catalog_queries, reference,
+                                            verdicts)
+            if got != expected
+        ]
+        assert not mismatches, (label, mismatches[:5])
+
+    # The semi-decision interval backend: every conclusive answer must match.
+    interval_verdicts = _sweep(
+        SolverConfig(backend="interval", use_interval_precheck=False,
+                     use_cache=False),
+        catalog_queries)
+    wrong = [
+        (query[0], query[1], expected, got)
+        for query, expected, got in zip(catalog_queries, reference,
+                                        interval_verdicts)
+        if got != SATStatus.UNKNOWN and got != expected
+    ]
+    assert not wrong, wrong[:5]
+    conclusive = sum(1 for got in interval_verdicts
+                     if got != SATStatus.UNKNOWN)
+    # The catalogue's agent conditions are dominated by field-vs-constant
+    # comparisons; the word-level engine must decide a meaningful share.
+    assert conclusive / len(interval_verdicts) >= 0.2
+
+
+def _inconsistency_sets(report):
+    return {
+        (r.test_key, frozenset((r.agent_a, r.agent_b))):
+            frozenset((i.trace_a, i.trace_b)
+                      for i in r.crosscheck.inconsistencies)
+        for r in report.reports
+    }
+
+
+def test_campaign_inconsistency_sets_identical_across_backends():
+    def run(**kwargs):
+        campaign = Campaign(tests=("set_config", "flow_mod"), agents=AGENTS,
+                            replay_testcases=False, triage=False, **kwargs)
+        return campaign.run()
+
+    reference = _inconsistency_sets(run())
+    assert reference  # the modified agent must produce inconsistencies
+    assert _inconsistency_sets(run(backend="cdcl-alt")) == reference
+    assert _inconsistency_sets(run(portfolio=True)) == reference
+    assert _inconsistency_sets(run(portfolio=("cdcl", "cdcl-alt"))) == reference
